@@ -1,0 +1,99 @@
+// Command sgbench regenerates the paper's evaluation: Tables 1–4, the
+// Fig. 2/4 worked example, the headline IPC summary, and the ablation
+// studies. With no flags it prints everything.
+//
+// Usage:
+//
+//	sgbench [-table N] [-figure] [-summary] [-ablation] [-entries N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specguard/internal/bench"
+	"specguard/internal/core"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table N (1-4)")
+	figure := flag.Bool("figure", false, "print only the Fig. 2/4 worked example")
+	summary := flag.Bool("summary", false, "print only the headline IPC summary")
+	ablation := flag.Bool("ablation", false, "print only the policy ablation")
+	entries := flag.Int("entries", 0, "override the 2-bit predictor table size")
+	flag.Parse()
+
+	only := *table != 0 || *figure || *summary || *ablation
+
+	if *figure || !only {
+		fmt.Println(bench.FormatFigure2())
+	}
+	if *table == 2 || !only {
+		r := bench.NewRunner()
+		fmt.Println(bench.FormatTable2(r.Model))
+	}
+	needRuns := !only || *table == 1 || *table == 3 || *table == 4 || *summary
+	if needRuns {
+		r := bench.NewRunner()
+		r.PredictorEntries = *entries
+		fmt.Fprintln(os.Stderr, "running 4 workloads x 3 schemes...")
+		results, err := r.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgbench:", err)
+			os.Exit(1)
+		}
+		if *table == 1 || !only {
+			fmt.Println(bench.FormatTable1(bench.Table1(results)))
+		}
+		if *table == 3 || !only {
+			fmt.Println(bench.FormatTable3(bench.Table3(results)))
+		}
+		if *table == 4 || !only {
+			fmt.Println(bench.FormatTable4(bench.Table4(results)))
+		}
+		if *summary || !only {
+			fmt.Println(bench.FormatHeadlines(bench.Headlines(results)))
+		}
+	}
+	if *ablation || !only {
+		printAblation(*entries)
+	}
+}
+
+// printAblation disables one optimizer arm at a time — the paper
+// title's "individual/combined effects".
+func printAblation(entries int) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"combined (all arms)", core.Options{}},
+		{"no branch-likely", core.Options{DisableLikely: true}},
+		{"no guarding", core.Options{DisableGuarding: true}},
+		{"no splitting", core.Options{DisableSplitting: true}},
+		{"no speculation", core.Options{DisableSpeculation: true}},
+		{"likely only", core.Options{DisableGuarding: true, DisableSplitting: true, DisableSpeculation: true}},
+		{"guarding only", core.Options{DisableLikely: true, DisableSplitting: true, DisableSpeculation: true}},
+	}
+	fmt.Println("Ablation: suite IPC per optimizer configuration (2-bit scheme)")
+	fmt.Printf("%-22s", "config")
+	for _, w := range bench.All() {
+		fmt.Printf(" %10s", w.Name)
+	}
+	fmt.Println()
+	for _, cfg := range configs {
+		r := bench.NewRunner()
+		r.PredictorEntries = entries
+		fmt.Printf("%-22s", cfg.name)
+		for _, w := range bench.All() {
+			res, err := r.RunProposedOpts(w, cfg.opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sgbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %10.3f", res.Stats.IPC())
+		}
+		fmt.Println()
+	}
+}

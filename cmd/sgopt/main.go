@@ -1,0 +1,113 @@
+// Command sgopt applies the paper's combined optimizer to a program and
+// dumps the decision log plus the before/after assembly. The program is
+// a built-in workload (-w) or an assembly file (-f); profiles come from
+// an instrumented interpreter run.
+//
+// Usage:
+//
+//	sgopt -w grep
+//	sgopt -f prog.s -keep-guards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specguard/internal/asm"
+	"specguard/internal/bench"
+	"specguard/internal/core"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+func main() {
+	workload := flag.String("w", "", "built-in workload: compress|espresso|xlisp|grep")
+	file := flag.String("f", "", "assembly file to optimize")
+	keepGuards := flag.Bool("keep-guards", false, "keep fully predicated ops (skip cmov lowering)")
+	profileFile := flag.String("profile", "", "load feedback from a file written by sgprof -save instead of re-profiling")
+	alias := flag.Float64("alias", 0, "assume this predictor-aliasing probability")
+	quiet := flag.Bool("q", false, "print only the decision log")
+	dot := flag.Bool("dot", false, "emit the optimized entry function's CFG as Graphviz dot instead of assembly")
+	flag.Parse()
+
+	if (*workload == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "sgopt: exactly one of -w or -f is required")
+		os.Exit(2)
+	}
+	if err := run(*workload, *file, *profileFile, *keepGuards, *alias, *quiet, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "sgopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, file, profileFile string, keepGuards bool, alias float64, quiet, dot bool) error {
+	var w bench.Workload
+	if workload != "" {
+		var err error
+		w, err = bench.ByName(workload)
+		if err != nil {
+			return err
+		}
+	} else {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		p, err := asm.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		w = bench.Workload{Name: file, Build: p.Clone, Init: nil}
+	}
+
+	before := w.Build()
+	var prof *profile.Profile
+	var err error
+	if profileFile != "" {
+		in, oerr := os.Open(profileFile)
+		if oerr != nil {
+			return oerr
+		}
+		defer in.Close()
+		prof, err = profile.Load(in)
+		if err != nil {
+			return err
+		}
+	} else {
+		var initFn func(*interp.Interp) error
+		if w.Init != nil {
+			initFn = w.Init
+		}
+		prof, _, err = profile.Collect(w.Build(), interp.Options{}, initFn)
+		if err != nil {
+			return err
+		}
+	}
+
+	after := w.Build()
+	opts := w.Opt
+	opts.SkipLower = keepGuards
+	opts.AssumeAlias = alias
+	rep, err := core.Optimize(after, prof, machine.R10000(), opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== decisions ===")
+	fmt.Print(rep.String())
+	if dot {
+		fmt.Println()
+		fmt.Print(prog.DotCFG(after.EntryFunc()))
+		return nil
+	}
+	if !quiet {
+		fmt.Println("\n=== before ===")
+		fmt.Print(before.String())
+		fmt.Println("\n=== after ===")
+		fmt.Print(after.String())
+	}
+	return nil
+}

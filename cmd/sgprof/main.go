@@ -1,0 +1,101 @@
+// Command sgprof runs the instrumented profiling pass over a program
+// and dumps the paper's feedback metrics per branch site: execution
+// count, taken frequency, toggle factor, phase segmentation and
+// detected periodicity — the inputs of the Fig. 6 algorithm.
+//
+// Usage:
+//
+//	sgprof -w espresso
+//	sgprof -f prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specguard/internal/asm"
+	"specguard/internal/bench"
+	"specguard/internal/interp"
+	"specguard/internal/profile"
+)
+
+func main() {
+	workload := flag.String("w", "", "built-in workload: compress|espresso|xlisp|grep")
+	file := flag.String("f", "", "assembly file to profile")
+	minCount := flag.Int64("min", 1, "hide branch sites executed fewer times")
+	save := flag.String("save", "", "also write the profile to this file (for sgopt -profile)")
+	flag.Parse()
+
+	if (*workload == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "sgprof: exactly one of -w or -f is required")
+		os.Exit(2)
+	}
+	if err := run(*workload, *file, *minCount, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "sgprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, file string, minCount int64, save string) error {
+	var prof *profile.Profile
+	var err error
+	if workload != "" {
+		w, werr := bench.ByName(workload)
+		if werr != nil {
+			return werr
+		}
+		prof, _, err = profile.Collect(w.Build(), interp.Options{}, w.Init)
+	} else {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return rerr
+		}
+		p, perr := asm.Parse(string(src))
+		if perr != nil {
+			return perr
+		}
+		prof, _, err = profile.Collect(p, interp.Options{}, nil)
+	}
+	if err != nil {
+		return err
+	}
+	if save != "" {
+		out, cerr := os.Create(save)
+		if cerr != nil {
+			return cerr
+		}
+		defer out.Close()
+		if serr := prof.Save(out); serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "profile written to %s\n", save)
+	}
+
+	fmt.Printf("dynamic instructions: %d   branches: %d (%.2f%%)\n\n",
+		prof.DynInstrs, prof.TotalBranches(), 100*prof.BranchRatio())
+	fmt.Printf("%-24s %10s %8s %8s  %s\n", "site", "count", "taken", "toggle", "structure")
+	for _, bp := range prof.Sites() {
+		if bp.Count() < minCount {
+			continue
+		}
+		structure := "uniform"
+		if inst, ok := bp.Instrumentable(profile.SegmentOptions{}); ok {
+			switch inst.Kind {
+			case profile.InstrPeriodic:
+				structure = fmt.Sprintf("periodic(period=%d match=%.2f)",
+					inst.Periodic.Period, inst.Periodic.MatchRate)
+			case profile.InstrPhases:
+				structure = "phases:"
+				for _, s := range inst.Segments {
+					structure += fmt.Sprintf(" [%d,%d)=%s(%.2f)", s.Start, s.End, s.Class, s.TakenFreq)
+				}
+			}
+		} else if segs := bp.Segments(profile.SegmentOptions{}); len(segs) > 1 {
+			structure = fmt.Sprintf("%d segments (not counter-expressible)", len(segs))
+		}
+		fmt.Printf("%-24s %10d %8.3f %8.3f  %s\n",
+			bp.Site, bp.Count(), bp.TakenFreq(), bp.ToggleFactor(), structure)
+	}
+	return nil
+}

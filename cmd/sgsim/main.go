@@ -1,0 +1,112 @@
+// Command sgsim runs a program on the R10000-like timing simulator and
+// prints the statistics. The program is either a built-in workload
+// kernel (-w) or an assembly file (-f, in the syntax of internal/asm).
+//
+// Usage:
+//
+//	sgsim -w compress -scheme proposed
+//	sgsim -f prog.s -scheme 2bit -entries 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specguard/internal/asm"
+	"specguard/internal/bench"
+	"specguard/internal/core"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
+	"specguard/internal/profile"
+)
+
+func main() {
+	workload := flag.String("w", "", "built-in workload: compress|espresso|xlisp|grep")
+	file := flag.String("f", "", "assembly file to simulate")
+	scheme := flag.String("scheme", "2bit", "2bit | gshare | proposed | perfect")
+	entries := flag.Int("entries", 512, "2-bit predictor table size")
+	flag.Parse()
+
+	if (*workload == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "sgsim: exactly one of -w or -f is required")
+		os.Exit(2)
+	}
+
+	if err := run(*workload, *file, *scheme, *entries); err != nil {
+		fmt.Fprintln(os.Stderr, "sgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, file, scheme string, entries int) error {
+	var w bench.Workload
+	if workload != "" {
+		var err error
+		w, err = bench.ByName(workload)
+		if err != nil {
+			return err
+		}
+	} else {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		p, err := asm.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		w = bench.Workload{
+			Name:  file,
+			Build: p.Clone,
+			Init:  func(*interp.Interp) error { return nil },
+		}
+	}
+
+	model := machine.R10000()
+	p := w.Build()
+	var pred predict.Predictor
+	switch scheme {
+	case "2bit":
+		pred = predict.NewTwoBit(entries)
+	case "gshare":
+		pred = predict.NewGShare(entries, 8)
+	case "perfect":
+		pred = predict.NewPerfect()
+	case "proposed":
+		pred = predict.NewTwoBit(entries)
+		prof, _, err := profile.Collect(w.Build(), interp.Options{}, w.Init)
+		if err != nil {
+			return err
+		}
+		rep, err := core.Optimize(p, prof, model, w.Opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+
+	m, err := interp.New(p, nil, interp.Options{})
+	if err != nil {
+		return err
+	}
+	if w.Init != nil {
+		if err := w.Init(m); err != nil {
+			return err
+		}
+	}
+	pipe, err := pipeline.New(pipeline.Config{Model: model, Predictor: pred})
+	if err != nil {
+		return err
+	}
+	stats, err := pipe.Run(pipeline.NewInterpSource(m))
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats.String())
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package specguard is a from-scratch reproduction of
+//
+//	M. Srinivas and A. Nicolau, "Analyzing the Individual/Combined
+//	Effects of Speculative and Guarded Execution on a Superscalar
+//	Architecture", IPPS 1998.
+//
+// The repository implements the paper's whole stack in Go with no
+// dependencies beyond the standard library:
+//
+//   - a MIPS-like intermediate representation with an assembler
+//     (internal/isa, internal/prog, internal/asm);
+//   - an architectural interpreter and branch-profiling
+//     infrastructure recording per-branch outcome bit vectors and the
+//     paper's refined feedback metrics — toggle factors, phase
+//     segmentation, periodicity (internal/interp, internal/profile);
+//   - the compiler transformations: speculative hoisting with software
+//     renaming and forward substitution, if-conversion to guarded
+//     code, conditional-move lowering, branch-likely conversion,
+//     downward code duplication, and the paper's split-branch
+//     transformation (internal/xform);
+//   - the Fig. 6 feedback-directed optimizer with its cost models
+//     (internal/core);
+//   - a trace-driven out-of-order R10000-like timing simulator with
+//     2-bit and perfect branch prediction, split 32 KB caches and the
+//     paper's queue/unit configuration (internal/pipeline,
+//     internal/predict, internal/cache, internal/machine);
+//   - synthetic workload kernels standing in for compress, espresso,
+//     xlisp and grep, plus the harness regenerating Tables 1–4 and the
+//     figure arithmetic (internal/bench).
+//
+// Entry points: the sgbench/sgsim/sgopt/sgprof commands under cmd/,
+// the runnable walkthroughs under examples/, and the top-level
+// bench_test.go which regenerates every table and figure as Go
+// benchmarks. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for measured-vs-paper results.
+package specguard

@@ -1,0 +1,69 @@
+package specguard_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each runnable example end to end and checks
+// for its signature output — the documentation's claims stay honest.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"optimizer decisions:", "2-bit baseline", "perfect BP"}},
+		{"./examples/figure2", []string{"3100 (3100)", "2756 (2756)", "branch-likely versions"}},
+		{"./examples/predication", []string{"guarding wins", "guarding declined", "(p"}},
+		{"./examples/phases", []string{"phase [", "heavy counter aliasing", "mispredicts="}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestCLISmoke drives each command-line tool once.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLIs are slow under -short")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"run", "./cmd/sgbench", "-figure"}, "2756"},
+		{[]string{"run", "./cmd/sgbench", "-table", "2"}, "cache miss penalty"},
+		{[]string{"run", "./cmd/sgprof", "-w", "grep"}, "periodic(period=4"},
+		{[]string{"run", "./cmd/sgopt", "-w", "xlisp", "-q"}, "if-convert"},
+		{[]string{"run", "./cmd/sgsim", "-w", "espresso", "-scheme", "perfect"}, "IPC="},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.Join(c.args[1:], "_"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", c.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("go %v output missing %q:\n%s", c.args, c.want, out)
+			}
+		})
+	}
+}

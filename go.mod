@@ -1,0 +1,3 @@
+module specguard
+
+go 1.22

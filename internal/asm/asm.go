@@ -1,0 +1,300 @@
+// Package asm assembles the textual form of the specguard IR into a
+// prog.Program and is the inverse of Program.String. The syntax is the
+// one every isa.Instr prints itself in:
+//
+//	; comment (also #)
+//	.entry main          ; optional, defaults to "main"
+//	func main:
+//	B1:
+//	    add r3, r1, r2
+//	    lw r4, 8(r5)
+//	    (p1) mov r6, r9
+//	    (!p2) add r1, r1, 1
+//	    beq r1, r2, B3
+//	B2:
+//	    switch r2, T0, T1, T2
+//	    halt
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// Parse assembles src. The returned program has a computed CFG and has
+// passed prog.Verify in IR mode.
+func Parse(src string) (*prog.Program, error) {
+	p := prog.NewProgram()
+	var f *prog.Func
+	var b *prog.Block
+
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm: line %d: %s", lineno+1, fmt.Sprintf(format, args...))
+		}
+
+		switch {
+		case strings.HasPrefix(line, ".entry"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".entry"))
+			if name == "" {
+				return nil, fail("missing entry name")
+			}
+			p.Entry = name
+			continue
+		case strings.HasPrefix(line, "func "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+			name = strings.TrimSuffix(name, ":")
+			if name == "" {
+				return nil, fail("missing function name")
+			}
+			f = prog.NewFunc(name)
+			p.AddFunc(f)
+			b = nil
+			continue
+		case strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t"):
+			if f == nil {
+				return nil, fail("label outside a function")
+			}
+			b = f.AddBlock(strings.TrimSuffix(line, ":"))
+			continue
+		}
+
+		if f == nil || b == nil {
+			return nil, fail("instruction outside a block")
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		b.Instrs = append(b.Instrs, in)
+	}
+
+	for _, fn := range p.Funcs {
+		if err := fn.RebuildCFG(); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Verify(p, prog.VerifyIR); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse for statically known-good sources (tests, examples).
+func MustParse(src string) *prog.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// parseInstr parses one instruction line (guard prefix included).
+func parseInstr(line string) (*isa.Instr, error) {
+	in := &isa.Instr{}
+
+	// Optional guard: "(p1)" or "(!p2)".
+	if strings.HasPrefix(line, "(") {
+		end := strings.IndexByte(line, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated guard in %q", line)
+		}
+		g := line[1:end]
+		if strings.HasPrefix(g, "!") {
+			in.PredNeg = true
+			g = g[1:]
+		}
+		r, err := isa.ParseReg(g)
+		if err != nil || !r.IsPred() {
+			return nil, fmt.Errorf("bad guard %q", g)
+		}
+		in.Pred = r
+		line = strings.TrimSpace(line[end+1:])
+	}
+
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := isa.ParseOp(mnemonic)
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case isa.Nop, isa.Ret, isa.Halt:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.And, isa.Or, isa.Xor, isa.Nor,
+		isa.Slt, isa.Sll, isa.Srl, isa.Sra, isa.PEq, isa.PNe, isa.PLt, isa.PGe,
+		isa.FAdd, isa.FSub, isa.FMul, isa.FDiv, isa.PAnd, isa.POr:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs, err = isa.ParseReg(args[1]); err != nil {
+			return nil, err
+		}
+		if err = parseRegOrImm(args[2], in); err != nil {
+			return nil, err
+		}
+
+	case isa.Mov, isa.FMov, isa.PNot:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.Rs, err = isa.ParseReg(args[1]); err != nil {
+			return nil, err
+		}
+
+	case isa.Li:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = strconv.ParseInt(args[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad immediate %q", args[1])
+		}
+
+	case isa.Lw, isa.Sw, isa.Lf, isa.Sf:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if err = parseMemOperand(args[1], in); err != nil {
+			return nil, err
+		}
+
+	case isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Beql, isa.Bnel, isa.Bltl, isa.Bgel:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rs, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if err = parseRegOrImm(args[1], in); err != nil {
+			return nil, err
+		}
+		in.Label = args[2]
+
+	case isa.Bp, isa.Bpl:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if in.Rs, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		if !in.Rs.IsPred() {
+			return nil, fmt.Errorf("%s needs a predicate register, got %q", mnemonic, args[0])
+		}
+		in.Label = args[1]
+
+	case isa.J, isa.Call:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		in.Label = args[0]
+
+	case isa.Switch:
+		if len(args) < 2 {
+			return nil, fmt.Errorf("switch: want register plus at least one target")
+		}
+		var err error
+		if in.Rs, err = isa.ParseReg(args[0]); err != nil {
+			return nil, err
+		}
+		in.Targets = append([]string(nil), args[1:]...)
+
+	default:
+		return nil, fmt.Errorf("unhandled mnemonic %q", mnemonic)
+	}
+	return in, nil
+}
+
+// parseRegOrImm fills Rt or Imm from a second-source operand.
+func parseRegOrImm(s string, in *isa.Instr) error {
+	if r, err := isa.ParseReg(s); err == nil {
+		in.Rt = r
+		return nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad operand %q", s)
+	}
+	in.Imm = v
+	return nil
+}
+
+// parseMemOperand parses "off(base)".
+func parseMemOperand(s string, in *isa.Instr) error {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := s[:open]
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := strconv.ParseInt(offStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad memory offset %q", offStr)
+	}
+	base, err := isa.ParseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return err
+	}
+	in.Imm = off
+	in.Rs = base
+	return nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

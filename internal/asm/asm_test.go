@@ -1,0 +1,283 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+const sample = `
+; Fig. 7(a) of the paper, rendered in specguard syntax.
+.entry main
+func main:
+L0:
+	beq r1, r2, L1
+B2:
+	add r8, r6, r4
+	j L2
+L1:
+	sub r6, r3, 1
+L2:
+	bne r5, r6, L0
+done:
+	halt
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("main")
+	if f == nil {
+		t.Fatal("main not parsed")
+	}
+	if len(f.Blocks) != 5 {
+		t.Fatalf("parsed %d blocks, want 5", len(f.Blocks))
+	}
+	br := f.Block("L0").CondBranch()
+	if br == nil || br.Op != isa.Beq || br.Label != "L1" {
+		t.Fatalf("L0 terminator = %v", br)
+	}
+	if ins := f.Block("L1").Instrs; len(ins) != 1 || ins[0].String() != "sub r6, r3, 1" {
+		t.Fatalf("L1 = %v", ins)
+	}
+	if p.Entry != "main" {
+		t.Fatalf("entry = %q", p.Entry)
+	}
+}
+
+func TestParseGuardsAndMemory(t *testing.T) {
+	src := `
+func main:
+B0:
+	lw r4, 8(r5)
+	sw r4, -4(r5)
+	lf f1, 0(r2)
+	(p1) mov r6, r9
+	(!p2) add r1, r1, 1
+	peq p1, r1, r2
+	plt p2, r7, 40
+	pand p3, p1, p2
+	pnot p4, p3
+	bpl p3, B0
+end:
+	halt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Func("main").Block("B0").Instrs
+	if ins[0].Op != isa.Lw || ins[0].Imm != 8 || ins[0].Rs != isa.R(5) || ins[0].Rd != isa.R(4) {
+		t.Errorf("lw parsed as %v", ins[0].String())
+	}
+	if ins[1].Imm != -4 {
+		t.Errorf("negative offset parsed as %d", ins[1].Imm)
+	}
+	if ins[3].Pred != isa.P(1) || ins[3].PredNeg {
+		t.Errorf("guard parsed as %v neg=%v", ins[3].Pred, ins[3].PredNeg)
+	}
+	if ins[4].Pred != isa.P(2) || !ins[4].PredNeg {
+		t.Errorf("negated guard parsed as %v neg=%v", ins[4].Pred, ins[4].PredNeg)
+	}
+	if ins[6].Op != isa.PLt || ins[6].Imm != 40 || ins[6].Rt != isa.NoReg {
+		t.Errorf("plt immediate form parsed as %v", ins[6].String())
+	}
+	if ins[9].Op != isa.Bpl || ins[9].Rs != isa.P(3) || ins[9].Label != "B0" {
+		t.Errorf("bpl parsed as %v", ins[9].String())
+	}
+}
+
+func TestParseSwitchAndCalls(t *testing.T) {
+	src := `
+func main:
+d:
+	li r1, 1
+	call helper
+d2:
+	switch r1, t0, t1
+t0:
+	j end
+t1:
+	j end
+end:
+	halt
+func helper:
+h:
+	ret
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Func("main").Block("d2").Terminator()
+	if sw.Op != isa.Switch || len(sw.Targets) != 2 || sw.Targets[1] != "t1" {
+		t.Fatalf("switch parsed as %v", sw.String())
+	}
+	if p.Func("helper") == nil {
+		t.Fatal("helper not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"add r1, r2, r3", "outside"},
+		{"func main:\nadd r1, r2, r3", "outside a block"},
+		{"func main:\nB0:\n\tbogus r1", "unknown mnemonic"},
+		{"func main:\nB0:\n\tadd r1, r2", "want 3 operands"},
+		{"func main:\nB0:\n\tlw r1, r2", "bad memory operand"},
+		{"func main:\nB0:\n\tlw r1, 4(x9)", "bad register"},
+		{"func main:\nB0:\n\t(p9) mov r1, r2", "bad guard"},
+		{"func main:\nB0:\n\t(r1) mov r1, r2", "bad guard"},
+		{"func main:\nB0:\n\t(!p1 mov r1, r2", "unterminated guard"},
+		{"func main:\nB0:\n\tbp r1, B0", "needs a predicate register"},
+		{"func main:\nB0:\n\tli r1, xyz", "bad immediate"},
+		{"func main:\nB0:\n\tswitch r1", "at least one target"},
+		{".entry", "missing entry name"},
+		{"func main:\nB0:\n\tbeq r1, r2, nowhere\nend:\n\thalt", "unknown block"},
+		{"func main:\nB0:\n\tadd r1, r1, 1", "fall off"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+# hash comment
+func main:   ; trailing comment
+B0:
+	li r1, 5   ; load
+	halt       # stop
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Func("main").Block("B0").Instrs); got != 2 {
+		t.Fatalf("parsed %d instrs, want 2", got)
+	}
+}
+
+// TestRoundTripPrinted checks Parse(prog.String()) == prog for a
+// program exercising every syntactic form.
+func TestRoundTripPrinted(t *testing.T) {
+	src := sample
+	p1 := MustParse(src)
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("round trip changed program:\n--- first\n%s\n--- second\n%s", p1.String(), p2.String())
+	}
+}
+
+// TestRoundTripRandom generates random (structurally valid) programs and
+// checks that printing and reparsing is the identity on the printed form.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomProgram(rng)
+		text := p.String()
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if q.String() != text {
+			t.Fatalf("trial %d: round trip not stable:\n--- printed\n%s\n--- reparsed\n%s", trial, text, q.String())
+		}
+	}
+}
+
+// randomProgram builds a structurally valid straight-line-plus-branches
+// program using the Builder.
+func randomProgram(rng *rand.Rand) *prog.Program {
+	p := prog.NewProgram()
+	b := prog.NewBuilder("main")
+	nblocks := 2 + rng.Intn(4)
+	names := make([]string, nblocks)
+	for i := range names {
+		names[i] = blockName(i)
+	}
+	for i := 0; i < nblocks; i++ {
+		b.Block(names[i])
+		for k := rng.Intn(5); k > 0; k-- {
+			b.Emit(randomBodyInstr(rng))
+		}
+		if i == nblocks-1 {
+			b.Halt()
+		} else if rng.Intn(2) == 0 {
+			// conditional branch to a random block, fall to next
+			ops := []isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Beql}
+			b.Branch(ops[rng.Intn(len(ops))], isa.R(rng.Intn(8)), isa.R(rng.Intn(8)), names[rng.Intn(nblocks)])
+		}
+	}
+	p.AddFunc(b.Func())
+	return p
+}
+
+func randomBodyInstr(rng *rand.Rand) isa.Instr {
+	r := func() isa.Reg { return isa.R(1 + rng.Intn(10)) }
+	switch rng.Intn(7) {
+	case 0:
+		return isa.Instr{Op: isa.Add, Rd: r(), Rs: r(), Rt: r()}
+	case 1:
+		return isa.Instr{Op: isa.Sub, Rd: r(), Rs: r(), Imm: int64(rng.Intn(100) - 50)}
+	case 2:
+		return isa.Instr{Op: isa.Li, Rd: r(), Imm: int64(rng.Intn(1000))}
+	case 3:
+		return isa.Instr{Op: isa.Lw, Rd: r(), Rs: r(), Imm: int64(rng.Intn(64) * 8)}
+	case 4:
+		return isa.Instr{Op: isa.Sw, Rd: r(), Rs: r(), Imm: int64(rng.Intn(64) * 8)}
+	case 5:
+		return isa.Instr{Op: isa.Mov, Rd: r(), Rs: r(), Pred: isa.P(1 + rng.Intn(3)), PredNeg: rng.Intn(2) == 0}
+	default:
+		return isa.Instr{Op: isa.Sll, Rd: r(), Rs: r(), Imm: int64(rng.Intn(16))}
+	}
+}
+
+func blockName(i int) string {
+	return "B" + string(rune('0'+i))
+}
+
+func TestMustParsePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("func main:\nB0:\n\tbogus op")
+}
+
+func TestParseMoreErrorForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"func main:\nB0:\n\tnop r1", "want 0 operands"},
+		{"func main:\nB0:\n\tmov r1", "want 2 operands"},
+		{"func main:\nB0:\n\tadd x1, r2, r3", "bad register"},
+		{"func main:\nB0:\n\tadd r1, x2, r3", "bad register"},
+		{"func main:\nB0:\n\tadd r1, r2, x3", "bad operand"},
+		{"func main:\nB0:\n\tbeq x1, r2, B0", "bad register"},
+		{"func main:\nB0:\n\tbeq r1, zz, B0", "bad operand"},
+		{"func main:\nB0:\n\tlw r1, 4x(r2)", "bad memory offset"},
+		{"func main:\nB0:\n\tswitch q1, B0", "bad register"},
+		{"func main:\nB0:\n\tj", "want 1 operands"},
+		{"func :", "missing function name"},
+		{"B0:", "label outside a function"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestDiagCharacteristics prints each kernel's Table-1-style stats and
+// scheme comparison; run with -v for the numbers.
+func TestDiagCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow diagnostic")
+	}
+	r := NewRunner()
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTable1(Table1(results)))
+	t.Logf("\n%s", FormatTable3(Table3(results)))
+	t.Logf("\n%s", FormatTable4(Table4(results)))
+	t.Logf("\n%s", FormatHeadlines(Headlines(results)))
+	for _, res := range results {
+		if res.Scheme == SchemeProposed && res.Report != nil {
+			t.Logf("%s decisions:\n%s", res.Workload, res.Report.String())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+
+	"specguard/internal/core"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+// Scheme is one of the paper's three evaluated configurations (§6).
+type Scheme int
+
+const (
+	// SchemeTwoBit: the original program on the R10000's 2-bit
+	// prediction — the paper's column 1 / baseline.
+	SchemeTwoBit Scheme = iota
+	// SchemeProposed: the combined approach (Fig. 6 optimizer) "in
+	// addition to 2-bit prediction" — column 2.
+	SchemeProposed
+	// SchemePerfect: the original program under perfect branch
+	// prediction — column 3, the theoretical bound.
+	SchemePerfect
+)
+
+// String names the scheme as in the tables' footnotes.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeTwoBit:
+		return "2-bitBP"
+	case SchemeProposed:
+		return "Proposed"
+	}
+	return "PerfectBP"
+}
+
+// Result is one (workload, scheme) simulation.
+type Result struct {
+	Workload string
+	Scheme   Scheme
+	Stats    pipeline.Stats
+	// Profile of the original program (the feedback run); identical
+	// across schemes of one workload.
+	Profile *profile.Profile
+	// Report is the optimizer's decision log (SchemeProposed only).
+	Report *core.Report
+}
+
+// Runner caches profiles so the three schemes of one workload share
+// one feedback run.
+type Runner struct {
+	Model *machine.Model
+	// PredictorEntries overrides the 2-bit table size (ablations);
+	// 0 uses the model's.
+	PredictorEntries int
+
+	profiles map[string]*profile.Profile
+}
+
+// NewRunner returns a Runner on the R10000 model.
+func NewRunner() *Runner {
+	return &Runner{Model: machine.R10000(), profiles: map[string]*profile.Profile{}}
+}
+
+func (r *Runner) entries() int {
+	if r.PredictorEntries > 0 {
+		return r.PredictorEntries
+	}
+	return r.Model.PredictorEntries
+}
+
+// ProfileOf returns (building if needed) the workload's feedback
+// profile — the paper's instrumented run.
+func (r *Runner) ProfileOf(w Workload) (*profile.Profile, error) {
+	if p, ok := r.profiles[w.Name]; ok {
+		return p, nil
+	}
+	prof, _, err := profile.Collect(w.Build(), interp.Options{}, wrapInit(w))
+	if err != nil {
+		return nil, fmt.Errorf("bench: profiling %s: %w", w.Name, err)
+	}
+	r.profiles[w.Name] = prof
+	return prof, nil
+}
+
+func wrapInit(w Workload) func(*interp.Interp) error {
+	if w.Init == nil {
+		return nil
+	}
+	return w.Init
+}
+
+// Run simulates one workload under one scheme.
+func (r *Runner) Run(w Workload, s Scheme) (Result, error) {
+	res := Result{Workload: w.Name, Scheme: s}
+	prof, err := r.ProfileOf(w)
+	if err != nil {
+		return res, err
+	}
+	res.Profile = prof
+
+	p := w.Build()
+	var pred predict.Predictor
+	switch s {
+	case SchemeTwoBit:
+		pred = predict.NewTwoBit(r.entries())
+	case SchemePerfect:
+		pred = predict.NewPerfect()
+	case SchemeProposed:
+		pred = predict.NewTwoBit(r.entries())
+		rep, err := core.Optimize(p, prof, r.Model, w.Opt)
+		if err != nil {
+			return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
+		}
+		res.Report = rep
+	}
+
+	stats, err := r.simulate(p, w, pred)
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+func (r *Runner) simulate(p *prog.Program, w Workload, pred predict.Predictor) (pipeline.Stats, error) {
+	m, err := interp.New(p, nil, interp.Options{})
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	if w.Init != nil {
+		if err := w.Init(m); err != nil {
+			return pipeline.Stats{}, err
+		}
+	}
+	pipe, err := pipeline.New(pipeline.Config{Model: r.Model, Predictor: pred})
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	stats, err := pipe.Run(pipeline.NewInterpSource(m))
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("bench: simulating %s: %w", w.Name, err)
+	}
+	return stats, nil
+}
+
+// RunProposedOpts simulates the proposed scheme with explicit optimizer
+// options — the ablation entry point (the title's "individual/combined
+// effects": disable one arm at a time).
+func (r *Runner) RunProposedOpts(w Workload, opts core.Options) (Result, error) {
+	res := Result{Workload: w.Name, Scheme: SchemeProposed}
+	prof, err := r.ProfileOf(w)
+	if err != nil {
+		return res, err
+	}
+	res.Profile = prof
+	p := w.Build()
+	rep, err := core.Optimize(p, prof, r.Model, opts)
+	if err != nil {
+		return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
+	}
+	res.Report = rep
+	stats, err := r.simulate(p, w, predict.NewTwoBit(r.entries()))
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// RunAll simulates every workload under every scheme, in table order.
+func (r *Runner) RunAll() ([]Result, error) {
+	var out []Result
+	for _, w := range All() {
+		for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
+			res, err := r.Run(w, s)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"specguard/internal/core"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+	"specguard/internal/pipeline"
+)
+
+// Table1Row is one benchmark's execution characteristics (paper
+// Table 1): dynamic instruction count, dynamic branch density, and the
+// 2-bit scheme's prediction accuracy.
+type Table1Row struct {
+	Name       string
+	DynInstrs  int64
+	BranchPct  float64
+	PredictPct float64
+}
+
+// Table1 derives the characteristics rows from baseline-scheme runs.
+func Table1(results []Result) []Table1Row {
+	var rows []Table1Row
+	for _, res := range results {
+		if res.Scheme != SchemeTwoBit {
+			continue
+		}
+		rows = append(rows, Table1Row{
+			Name:       res.Workload,
+			DynInstrs:  res.Stats.Committed,
+			BranchPct:  100 * float64(res.Stats.CondBranches) / float64(res.Stats.Committed),
+			PredictPct: 100 * res.Stats.PredAccuracy(),
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Benchmark characteristics\n")
+	fmt.Fprintf(&b, "%-10s %14s %10s %20s\n", "Benchmark", "DynInstr(M)", "Branch(%)", "CorrectlyPred(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.2f %10.2f %20.2f\n",
+			r.Name, float64(r.DynInstrs)/1e6, r.BranchPct, r.PredictPct)
+	}
+	return b.String()
+}
+
+// FormatTable2 echoes the machine's operation latencies (paper
+// Table 2 is pure configuration).
+func FormatTable2(m *machine.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Latencies\n")
+	fmt.Fprintf(&b, "%-20s %8s\n", "Instruction", "Latency")
+	rows := []struct {
+		name string
+		lat  int
+	}{
+		{"alu", m.AluLat},
+		{"ld/st", m.LdStLat},
+		{"sft", m.ShiftLat},
+		{"fp add", m.FPAddLat},
+		{"fp mul", m.FPMulLat},
+		{"fp div", m.FPDivLat},
+		{"cache miss penalty", m.CacheMissPenalty},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %8d\n", r.name, r.lat)
+	}
+	return b.String()
+}
+
+// Table3Row is one benchmark's reservation-station usage (paper
+// Table 3): % of cycles each queue was full, per scheme.
+type Table3Row struct {
+	Name string
+	// BR, LDST, ALU full percentages indexed by Scheme.
+	BR, LDST, ALU [3]float64
+}
+
+// Table3 assembles the queue-occupancy rows.
+func Table3(results []Result) []Table3Row {
+	byName := map[string]*Table3Row{}
+	var order []string
+	for _, res := range results {
+		row := byName[res.Workload]
+		if row == nil {
+			row = &Table3Row{Name: res.Workload}
+			byName[res.Workload] = row
+			order = append(order, res.Workload)
+		}
+		row.BR[res.Scheme] = res.Stats.QueueFullPct(pipeline.QBranch)
+		row.LDST[res.Scheme] = res.Stats.QueueFullPct(pipeline.QAddr)
+		row.ALU[res.Scheme] = res.Stats.QueueFullPct(pipeline.QInt)
+	}
+	var rows []Table3Row
+	for _, n := range order {
+		rows = append(rows, *byName[n])
+	}
+	return rows
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Reservation Station Usage Summary (%% cycles full)\n")
+	fmt.Fprintf(&b, "%-10s | %23s | %23s | %23s\n", "", "2-bitBP", "Proposed", "PerfectBP")
+	fmt.Fprintf(&b, "%-10s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n",
+		"Benchmark", "BR", "LDST", "ALU", "BR", "LDST", "ALU", "BR", "LDST", "ALU")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %7.2f %7.3f %7.3f | %7.2f %7.3f %7.3f | %7.2f %7.3f %7.3f\n",
+			r.Name,
+			r.BR[0], r.LDST[0], r.ALU[0],
+			r.BR[1], r.LDST[1], r.ALU[1],
+			r.BR[2], r.LDST[2], r.ALU[2])
+	}
+	return b.String()
+}
+
+// Table4Row is one benchmark's functional-unit usage and IPC (paper
+// Table 4), per scheme.
+type Table4Row struct {
+	Name           string
+	ALU, LDST, SFT [3]float64
+	IPC            [3]float64
+}
+
+// Table4 assembles the unit-usage/IPC rows.
+func Table4(results []Result) []Table4Row {
+	byName := map[string]*Table4Row{}
+	var order []string
+	for _, res := range results {
+		row := byName[res.Workload]
+		if row == nil {
+			row = &Table4Row{Name: res.Workload}
+			byName[res.Workload] = row
+			order = append(order, res.Workload)
+		}
+		row.ALU[res.Scheme] = res.Stats.UnitFullPct(isa.UnitALU)
+		row.LDST[res.Scheme] = res.Stats.UnitFullPct(isa.UnitLdSt)
+		row.SFT[res.Scheme] = res.Stats.UnitFullPct(isa.UnitShift)
+		row.IPC[res.Scheme] = res.Stats.IPC()
+	}
+	var rows []Table4Row
+	for _, n := range order {
+		rows = append(rows, *byName[n])
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Functional Unit Usage Summary and IPC\n")
+	fmt.Fprintf(&b, "%-10s | %31s | %31s | %31s\n", "", "2-bitBP", "Proposed", "PerfectBP")
+	fmt.Fprintf(&b, "%-10s | %7s %7s %7s %7s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
+		"Benchmark", "ALU", "LDST", "SFT", "IPC", "ALU", "LDST", "SFT", "IPC", "ALU", "LDST", "SFT", "IPC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %7.2f %7.2f %7.2f %7.3f | %7.2f %7.2f %7.2f %7.3f | %7.2f %7.2f %7.2f %7.3f\n",
+			r.Name,
+			r.ALU[0], r.LDST[0], r.SFT[0], r.IPC[0],
+			r.ALU[1], r.LDST[1], r.SFT[1], r.IPC[1],
+			r.ALU[2], r.LDST[2], r.SFT[2], r.IPC[2])
+	}
+	return b.String()
+}
+
+// Headline summarizes the paper's claim per benchmark: IPC by scheme
+// (the paper's metric) plus cycle counts, from which the honest
+// fixed-work speedup derives — transformed code commits a different
+// instruction stream, so IPC ratios under-credit transformations that
+// delete instructions (jump removal) and over-credit ones that add
+// work (speculation).
+type Headline struct {
+	Name                      string
+	BaseIPC, PropIPC, PerfIPC float64
+	BaseCyc, PropCyc, PerfCyc int64
+}
+
+// Speedup returns the IPC ratio PropIPC/BaseIPC (the paper's metric).
+func (h Headline) Speedup() float64 {
+	if h.BaseIPC == 0 {
+		return 0
+	}
+	return h.PropIPC / h.BaseIPC
+}
+
+// CycleSpeedup returns baseline cycles / proposed cycles: wall-clock
+// improvement on the same semantic work.
+func (h Headline) CycleSpeedup() float64 {
+	if h.PropCyc == 0 {
+		return 0
+	}
+	return float64(h.BaseCyc) / float64(h.PropCyc)
+}
+
+// Headlines derives the summary rows.
+func Headlines(results []Result) []Headline {
+	byName := map[string]*Headline{}
+	var order []string
+	for _, res := range results {
+		h := byName[res.Workload]
+		if h == nil {
+			h = &Headline{Name: res.Workload}
+			byName[res.Workload] = h
+			order = append(order, res.Workload)
+		}
+		switch res.Scheme {
+		case SchemeTwoBit:
+			h.BaseIPC, h.BaseCyc = res.Stats.IPC(), res.Stats.Cycles
+		case SchemeProposed:
+			h.PropIPC, h.PropCyc = res.Stats.IPC(), res.Stats.Cycles
+		case SchemePerfect:
+			h.PerfIPC, h.PerfCyc = res.Stats.IPC(), res.Stats.Cycles
+		}
+	}
+	var out []Headline
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// FormatHeadlines renders the summary.
+func FormatHeadlines(hs []Headline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline (paper: proposed = 1.3-1.6x of 2-bit baseline)\n")
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %12s\n",
+		"Benchmark", "2bit-IPC", "Prop-IPC", "Perf-IPC", "IPC-ratio", "cycle-speedup")
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%-10s %9.3f %9.3f %9.3f %9.2fx %11.2fx\n",
+			h.Name, h.BaseIPC, h.PropIPC, h.PerfIPC, h.Speedup(), h.CycleSpeedup())
+	}
+	return b.String()
+}
+
+// FormatFigure2 renders the paper's worked example (Figs. 2 and 4)
+// from the analytic cost model.
+func FormatFigure2() string {
+	e := core.PaperFig2()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2/4: worked example (100 iterations of the B1..B4 diamond)\n")
+	fmt.Fprintf(&b, "%-42s %10s %10s\n", "Schedule", "cycles", "paper")
+	fmt.Fprintf(&b, "%-42s %10.0f %10s\n", "(b) base acyclic", e.BaseCycles(), "3100")
+	fmt.Fprintf(&b, "%-42s %10.0f %10s\n", "(c) speculated (2+2 hoisted, 2 copied)", e.SpeculatedCycles(2, 2, 2), "2900")
+	fmt.Fprintf(&b, "%-42s %10.0f %10s\n", "(d) guarded (if-converted)", e.GuardedCycles(), "3600")
+	fmt.Fprintf(&b, "%-42s %10.0f %10s\n", "Fig.4 split (40/20/40 phases)", e.SplitCycles(core.PaperFig4Phases()), "2756")
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(1024, 32)
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(31) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(32) {
+		t.Fatal("next line must miss")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Fatalf("stats = %d/%d", acc, miss)
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	c := New(1024, 32) // 32 lines
+	c.Access(0)
+	c.Access(1024) // same index, different tag: evicts line 0
+	if c.Access(0) {
+		t.Fatal("evicted line must miss")
+	}
+}
+
+func TestSequentialStreamMissRate(t *testing.T) {
+	// Touching every 4-byte word of a long region: 1 miss per 32-byte
+	// line → miss rate 1/8.
+	c := New(32<<10, 32)
+	for addr := uint64(0); addr < 16<<10; addr += 4 {
+		c.Access(addr)
+	}
+	if got := c.MissRate(); got != 0.125 {
+		t.Fatalf("miss rate = %v, want 0.125", got)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set smaller than the cache has only cold misses.
+	c := New(32<<10, 32)
+	for pass := 0; pass < 10; pass++ {
+		for addr := uint64(0); addr < 16<<10; addr += 32 {
+			c.Access(addr)
+		}
+	}
+	_, miss := c.Stats()
+	if miss != 512 {
+		t.Fatalf("misses = %d, want 512 cold misses only", miss)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(1024, 32)
+	c.Access(0)
+	c.Reset()
+	if acc, miss := c.Stats(); acc != 0 || miss != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if c.Access(0) {
+		t.Fatal("reset cache must miss")
+	}
+	if c.MissRate() != 1 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 32}, {1024, 0}, {100, 32}, {1024, 33}, {96, 32}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", g[0], g[1])
+				}
+			}()
+			New(g[0], g[1])
+		}()
+	}
+}
+
+func TestZeroAccessMissRate(t *testing.T) {
+	if New(64, 32).MissRate() != 0 {
+		t.Error("idle cache miss rate must be 0")
+	}
+}
+
+// Property: a direct-mapped cache agrees with a map-based model.
+func TestQuickCacheModel(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(256, 32) // 8 lines
+		model := map[int]uint64{}
+		for _, a16 := range addrs {
+			addr := uint64(a16)
+			line := addr / 32
+			idx := int(line) % 8
+			wantHit := false
+			if tag, ok := model[idx]; ok && tag == line {
+				wantHit = true
+			}
+			model[idx] = line
+			if c.Access(addr) != wantHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package core implements the paper's contribution: the Fig. 6
+// feedback-directed decision algorithm that chooses, per branch, between
+// branch-likely conversion, guarded execution (if-conversion),
+// speculative code motion and the split-branch transformation — driven
+// by the refined phase-level feedback metrics of internal/profile and
+// the schedule cost models of Figs. 2 and 4.
+package core
+
+// RegionExample is the analytic cost model of the paper's worked
+// example (Fig. 2): a loop iterating Iters times over a diamond whose
+// blocks have local schedule lengths LenB (B1), LenT (the taken side,
+// B3 in the figure), LenF (the fall side, B2), and LenJ (the join, B4).
+// PTaken is the probability the branch is taken, and SlotsB is the
+// number of vacant issue slots in B1.
+//
+// The figure's annotation style maps as: B1=10 cycles with 4 vacant
+// slots, B2=13, B3=5, B4=12, 50/50 edges, 100 iterations.
+type RegionExample struct {
+	LenB, LenT, LenF, LenJ float64
+	PTaken                 float64
+	Iters                  float64
+	SlotsB                 float64
+}
+
+// PaperFig2 returns the exact parameters of the paper's Fig. 2.
+func PaperFig2() RegionExample {
+	return RegionExample{
+		LenB: 10, LenT: 5, LenF: 13, LenJ: 12,
+		PTaken: 0.5, Iters: 100, SlotsB: 4,
+	}
+}
+
+// BaseCycles is the plain acyclic schedule (Fig. 2(b)):
+//
+//	Iters × (LenB + p·LenT + (1−p)·LenF + LenJ)  —  3100 in the paper.
+func (e RegionExample) BaseCycles() float64 {
+	return e.Iters * (e.LenB + e.PTaken*e.LenT + (1-e.PTaken)*e.LenF + e.LenJ)
+}
+
+// SpeculatedCycles is Fig. 2(c): hoistT and hoistF operations are
+// speculated from each side into B1's vacant slots (no growth while
+// they fit), freeing slots that are refilled by copying fill operations
+// from the join into each side (shrinking the join by fill cycles,
+// leaving the sides' lengths unchanged):
+//
+//	100 × (10 + 0.5·(13+5) + 10) = 2900 with hoistT=hoistF=2, fill=2.
+func (e RegionExample) SpeculatedCycles(hoistT, hoistF, fill float64) float64 {
+	lenB := e.LenB
+	if over := hoistT + hoistF - e.SlotsB; over > 0 {
+		lenB += over // speculation beyond the vacant slots lengthens B1
+	}
+	return e.Iters * (lenB + e.PTaken*e.LenT + (1-e.PTaken)*e.LenF + (e.LenJ - fill))
+}
+
+// GuardedCycles is Fig. 2(d): both sides always execute, merged after
+// the branch; SlotsB operations overlap into B1's vacant slots:
+//
+//	100 × (10 + (13+5−4) + 12) = 3600.
+func (e RegionExample) GuardedCycles() float64 {
+	return e.Iters * (e.LenB + (e.LenT + e.LenF - e.SlotsB) + e.LenJ)
+}
+
+// PhaseCost describes one phase of the split schedule (Fig. 3): the
+// fraction of the iteration space it covers, the probability the
+// branch is taken within it, and the four block lengths after the
+// phase-specific code motion.
+type PhaseCost struct {
+	Frac                   float64
+	PTaken                 float64
+	LenB, LenT, LenF, LenJ float64
+}
+
+// SplitCycles is Fig. 4's arithmetic: the weighted sum of the
+// phase-specialized schedules.
+//
+//	100 × (0.4·(10+0.05·17+0.95·5+8) + 0.2·29 + 0.4·(10+0.95·13+0.05·9+8)) = 2756.
+func (e RegionExample) SplitCycles(phases []PhaseCost) float64 {
+	total := 0.0
+	for _, ph := range phases {
+		total += ph.Frac * (ph.LenB + ph.PTaken*ph.LenT + (1-ph.PTaken)*ph.LenF + ph.LenJ)
+	}
+	return e.Iters * total
+}
+
+// PaperFig4Phases returns the three phase costs of the paper's Fig. 4:
+// phase I speculates 4 ops from the hot taken side (B3) into B1 and
+// duplicates 4 join ops into both sides; phase II is the balanced
+// Fig. 2(c) speculation; phase III mirrors phase I on the fall side.
+func PaperFig4Phases() []PhaseCost {
+	return []PhaseCost{
+		// First 40%: taken 95% of the time. B2 grows 13→17 (4 copied
+		// in, none hoisted out), B3 stays 5 (4 out, 4 in), B4 12→8.
+		{Frac: 0.4, PTaken: 0.95, LenB: 10, LenT: 5, LenF: 17, LenJ: 8},
+		// Middle 20%: the toggling section keeps the balanced
+		// speculated schedule (29 cycles per iteration).
+		{Frac: 0.2, PTaken: 0.5, LenB: 10, LenT: 5, LenF: 13, LenJ: 10},
+		// Last 40%: taken only 5%. B2 stays 13, B3 grows 5→9, B4 12→8.
+		{Frac: 0.4, PTaken: 0.05, LenB: 10, LenT: 9, LenF: 13, LenJ: 8},
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/predict"
+	"specguard/internal/profile"
+	"specguard/internal/xform"
+)
+
+// TestDiagSplitGroundTruth measures the real cycle cost of each
+// configuration of the big phased workload. Not an assertion test —
+// run with -v to see the numbers that calibrate the estimator.
+func TestDiagSplitGroundTruth(t *testing.T) {
+	base := asm.MustParse(phasedLoop)
+	baseStats := ipcOf(t, base, predict.NewTwoBit(512))
+	t.Logf("base:           cycles=%d ipc=%.3f mispredicts=%d", baseStats.Cycles, baseStats.IPC(), baseStats.Mispredicts)
+
+	// Base + speculation only (what the optimizer's base config does).
+	specOnly := base.Clone()
+	prof, _, err := profile.Collect(specOnly, interp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSpec := &Report{Hoisted: map[string]int{}}
+	speculateFunc(specOnly.Func("main"), prof, mach(), Options{}.withDefaults(mach()), repSpec)
+	xform.EliminateDeadCode(specOnly.Func("main"))
+	s := ipcOf(t, specOnly, predict.NewTwoBit(512))
+	t.Logf("spec-only:      cycles=%d ipc=%.3f hoisted=%d", s.Cycles, s.IPC(), repSpec.TotalHoisted())
+
+	// Split + per-phase speculation, no residual guarding.
+	split := base.Clone()
+	f := split.Func("main")
+	h := xform.MatchHammock(f, f.Block("check"))
+	phases := xform.PhasesFromSegments(prof.Site("main.check").Segments(profile.SegmentOptions{}))
+	if _, err := xform.SplitBranch(f, h, phases, xform.NewIntPool(f), xform.NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	rep2 := &Report{Hoisted: map[string]int{}}
+	speculateFunc(f, prof, mach(), Options{}.withDefaults(mach()), rep2)
+	xform.EliminateDeadCode(f)
+	sp := ipcOf(t, split, predict.NewTwoBit(512))
+	t.Logf("split+spec:     cycles=%d ipc=%.3f hoisted=%d mispredicts=%d", sp.Cycles, sp.IPC(), rep2.TotalHoisted(), sp.Mispredicts)
+
+	// Split without any speculation.
+	split2 := base.Clone()
+	f2 := split2.Func("main")
+	h2 := xform.MatchHammock(f2, f2.Block("check"))
+	if _, err := xform.SplitBranch(f2, h2, phases, xform.NewIntPool(f2), xform.NewPredPool(f2)); err != nil {
+		t.Fatal(err)
+	}
+	sp2 := ipcOf(t, split2, predict.NewTwoBit(512))
+	t.Logf("split-only:     cycles=%d ipc=%.3f mispredicts=%d", sp2.Cycles, sp2.IPC(), sp2.Mispredicts)
+
+	perfect := ipcOf(t, base, predict.NewPerfect())
+	t.Logf("perfect(base):  cycles=%d ipc=%.3f", perfect.Cycles, perfect.IPC())
+
+	// Under PHT pressure: optimize assuming aliasing, simulate with a
+	// tiny predictor table so the aliasing is real.
+	pressured := base.Clone()
+	prof2, _, _ := profile.Collect(pressured, interp.Options{}, nil)
+	rep3, err := Optimize(pressured, prof2, mach(), Options{AssumeAlias: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pressure decisions:\n%s", rep3.String())
+	basePress := ipcOf(t, base, predict.NewTwoBit(8))
+	optPress := ipcOf(t, pressured, predict.NewTwoBit(8))
+	t.Logf("PHT8 base:      cycles=%d ipc=%.3f mispredicts=%d", basePress.Cycles, basePress.IPC(), basePress.Mispredicts)
+	t.Logf("PHT8 optimized: cycles=%d ipc=%.3f mispredicts=%d", optPress.Cycles, optPress.IPC(), optPress.Mispredicts)
+}
+
+func mach() *machine.Model { return machine.R10000() }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+	"specguard/internal/profile"
+	"specguard/internal/xform"
+)
+
+func TestTwoBitMissRate(t *testing.T) {
+	cases := map[float64]float64{
+		0.0:  0.0,
+		0.05: 0.05,
+		0.5:  0.5,
+		0.95: 0.05,
+		1.0:  0.0,
+	}
+	for pt, want := range cases {
+		if got := twoBitMissRate(pt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("twoBitMissRate(%v) = %v, want %v", pt, got, want)
+		}
+	}
+}
+
+func TestPhaseAwareMissRate(t *testing.T) {
+	segs := []profile.Segment{
+		{Start: 0, End: 400, TakenFreq: 0.95},
+		{Start: 400, End: 600, TakenFreq: 0.5},
+		{Start: 600, End: 1000, TakenFreq: 0.05},
+	}
+	got := phaseAwareMissRate(segs, 1000)
+	want := 0.4*0.05 + 0.2*0.5 + 0.4*0.05
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("phaseAwareMissRate = %v, want %v", got, want)
+	}
+	if phaseAwareMissRate(nil, 0) != 0 {
+		t.Error("empty inputs must give 0")
+	}
+}
+
+func TestAliasFraction(t *testing.T) {
+	m := machine.R10000()
+	if got := (Options{}).aliasFraction(m); got != 0 {
+		t.Errorf("no hot sites: alias = %v", got)
+	}
+	if got := (Options{HotBranchSites: 1}).aliasFraction(m); got != 0 {
+		t.Errorf("one hot site: alias = %v", got)
+	}
+	two := (Options{HotBranchSites: 2}).aliasFraction(m)
+	if math.Abs(two-1.0/512) > 1e-9 {
+		t.Errorf("two sites on 512 entries: alias = %v, want ~1/512", two)
+	}
+	many := (Options{HotBranchSites: 512}).aliasFraction(m)
+	if many < 0.6 || many > 0.7 {
+		t.Errorf("512 sites on 512 entries: alias = %v, want ≈1-1/e", many)
+	}
+	if got := (Options{AssumeAlias: 0.42}).aliasFraction(m); got != 0.42 {
+		t.Errorf("override ignored: %v", got)
+	}
+	// Monotone in site count.
+	prev := 0.0
+	for h := 2; h < 100; h += 7 {
+		a := (Options{HotBranchSites: h}).aliasFraction(m)
+		if a < prev {
+			t.Fatalf("aliasFraction not monotone at %d sites", h)
+		}
+		prev = a
+	}
+}
+
+func TestAliasMissRateBlend(t *testing.T) {
+	e := &estimator{alias: 0}
+	if got := e.aliasMissRate(0.1); got != 0.1 {
+		t.Errorf("no alias: %v", got)
+	}
+	e.alias = 1
+	if got := e.aliasMissRate(0.1); got != 0.45 {
+		t.Errorf("full alias: %v", got)
+	}
+	e.alias = 0.5
+	if got := e.aliasMissRate(0.1); math.Abs(got-0.275) > 1e-12 {
+		t.Errorf("half alias: %v", got)
+	}
+}
+
+// estFixture builds an estimator over a simple diamond with a recorded
+// outcome trace.
+func estFixture(t *testing.T, outcomes string) (*estimator, *xform.Hammock) {
+	t.Helper()
+	p := asm.MustParse(`
+func main:
+init:
+	li r1, 1
+B1:
+	beq r1, 0, T
+F:
+	add r2, r1, 1
+	add r3, r1, 2
+	j J
+T:
+	add r2, r1, 3
+J:
+	add r4, r2, 1
+	halt
+`)
+	f := p.Func("main")
+	h := xform.MatchHammock(f, f.Block("B1"))
+	if h == nil {
+		t.Fatal("fixture hammock")
+	}
+	bp := &profile.BranchProfile{Site: "main.B1", Outcomes: profile.FromString(outcomes)}
+	m := machine.R10000()
+	return newEstimator(p, f, m, Options{}.withDefaults(m), bp), h
+}
+
+func TestRegionWorkWeighting(t *testing.T) {
+	e, h := estFixture(t, "TFTF")
+	// B1 = 1 instr; T side = 1 (jump-free count), F side = 2.
+	if got := e.regionWork(h, 1.0); got != 1+1 {
+		t.Errorf("regionWork(taken) = %v", got)
+	}
+	if got := e.regionWork(h, 0.0); got != 1+2 {
+		t.Errorf("regionWork(fall) = %v", got)
+	}
+	mid := e.regionWork(h, 0.5)
+	if math.Abs(mid-2.5) > 1e-12 {
+		t.Errorf("regionWork(0.5) = %v", mid)
+	}
+}
+
+func TestGuardedCostCountsLowering(t *testing.T) {
+	e, h := estFixture(t, "TFTF")
+	g, err := e.guardedCost(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// body(0) + pdef(1) + 2×(3 side ops) + join jump(1) = 8 instrs,
+	// plus the serialization charge 1+3 = 4: 12/4 = 3.0.
+	if math.Abs(g-3.0) > 1e-12 {
+		t.Errorf("guardedCost = %v, want 3.0", g)
+	}
+}
+
+func TestBaseVsGuardedDecisionFlips(t *testing.T) {
+	noisy, h := estFixture(t, "TFFTTFTFFT")
+	base := noisy.baseCost(h)
+	guarded, err := noisy.guardedCost(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded >= base {
+		t.Errorf("noisy branch: guarded %v must beat base %v", guarded, base)
+	}
+
+	biased, h2 := estFixture(t, "TTTTTTTTTF")
+	base2 := biased.baseCost(h2)
+	guarded2, err := biased.guardedCost(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded2 < base2 {
+		t.Errorf("biased branch: base %v should beat guarded %v", base2, guarded2)
+	}
+}
+
+func TestDispatchWorkGrowsWithLevels(t *testing.T) {
+	if dispatchWork(1) >= dispatchWork(2) {
+		t.Error("dispatch work must grow with levels")
+	}
+	if dispatchWork(0) < 1 {
+		t.Error("counter increment is always present")
+	}
+}
+
+func TestLoopCarriedDetection(t *testing.T) {
+	if !loopCarried(&isa.Instr{Op: isa.Add, Rd: isa.R(4), Rs: isa.R(4), Imm: 1}) {
+		t.Error("accumulator must be loop-carried")
+	}
+	if loopCarried(&isa.Instr{Op: isa.Add, Rd: isa.R(4), Rs: isa.R(5), Imm: 1}) {
+		t.Error("fresh def is not loop-carried")
+	}
+}
+
+func TestHoistSimRespectsNoGrowth(t *testing.T) {
+	m := machine.R10000()
+	// b: two independent ALU ops (saturated cycle 0); side: one ALU op
+	// → hoisting would lengthen b, so hoistSim must keep it.
+	b := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(9), Imm: 2},
+	}
+	side := []*isa.Instr{{Op: isa.Add, Rd: isa.R(3), Rs: isa.R(9), Imm: 3}}
+	nb, nside := hoistSim(b, side, m)
+	if len(nb) != 2 || len(nside) != 1 {
+		t.Errorf("tight block absorbed an op: b=%d side=%d", len(nb), len(nside))
+	}
+
+	// A shifter op rides free next to the ALU pair.
+	side2 := []*isa.Instr{{Op: isa.Sll, Rd: isa.R(3), Rs: isa.R(9), Imm: 1}}
+	nb2, nside2 := hoistSim(b, side2, m)
+	if len(nb2) != 3 || len(nside2) != 0 {
+		t.Errorf("free shifter op not absorbed: b=%d side=%d", len(nb2), len(nside2))
+	}
+}
+
+func TestMixedResidualCosts(t *testing.T) {
+	e, h := estFixture(t, "TFTFTFTF")
+	predicted, guarded, err := e.mixedResidualCosts(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted <= 0 || guarded <= 0 {
+		t.Error("costs must be positive")
+	}
+	// For this tiny region, guarding the residual must beat predicting
+	// a 50/50 branch.
+	if guarded >= predicted {
+		t.Errorf("guarded %v should beat predicted %v here", guarded, predicted)
+	}
+}

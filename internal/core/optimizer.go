@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"specguard/internal/machine"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+	"specguard/internal/xform"
+)
+
+// Options tunes the Fig. 6 algorithm. Zero values select the paper's
+// thresholds.
+type Options struct {
+	// LikelyThreshold: bias at or above which a branch becomes
+	// branch-likely (paper: "highly probable (≥0.95)").
+	LikelyThreshold float64
+	// UnbiasedMax: bias at or below which guarded execution and
+	// splitting are considered (paper's 0.65 gate).
+	UnbiasedMax float64
+	// MinCount skips branches executed fewer times than this.
+	MinCount int64
+	// SegOpts tunes phase segmentation and instrumentability.
+	SegOpts profile.SegmentOptions
+	// MispredictCost is the per-misprediction cycle estimate used by
+	// the cost model; 0 derives it from the machine model.
+	MispredictCost float64
+	// SpeculateLoads allows hoisting loads (see xform.SpecOptions).
+	SpeculateLoads bool
+	// HotBranchSites is the number of frequently executed static
+	// branch sites competing for the predictor's counters; Optimize
+	// fills it from the profile when zero. Together with the machine's
+	// PredictorEntries it yields the aliasing probability the cost
+	// model charges 2-bit-predicted code with.
+	HotBranchSites int
+	// AssumeAlias overrides the computed aliasing probability
+	// (0 = compute; used by tests and ablations).
+	AssumeAlias float64
+	// Lower expands guarded operations to machine-legal conditional
+	// moves after optimizing. On by default via Optimize (set
+	// SkipLower to keep the fictional ops for inspection).
+	SkipLower bool
+
+	// Ablation switches (the title's "individual/combined effects").
+	DisableLikely      bool
+	DisableGuarding    bool
+	DisableSplitting   bool
+	DisableSpeculation bool
+}
+
+func (o Options) withDefaults(m *machine.Model) Options {
+	if o.LikelyThreshold == 0 {
+		o.LikelyThreshold = 0.95
+	}
+	if o.UnbiasedMax == 0 {
+		o.UnbiasedMax = 0.65
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 64
+	}
+	if o.MispredictCost == 0 {
+		// Fetch-to-resolution depth plus the recovery bubble: the
+		// wrong-path window costs roughly the front-end depth (~5)
+		// on top of the explicit penalty.
+		o.MispredictCost = float64(m.MispredictPenalty) + 5
+	}
+	return o
+}
+
+// aliasFraction returns the probability that a hot branch shares its
+// 2-bit counter with another hot branch: 1 − (1 − 1/E)^(H−1).
+func (o Options) aliasFraction(m *machine.Model) float64 {
+	if o.AssumeAlias > 0 {
+		return o.AssumeAlias
+	}
+	entries := m.PredictorEntries
+	if entries <= 0 || o.HotBranchSites <= 1 {
+		return 0
+	}
+	p := 1.0
+	q := 1 - 1/float64(entries)
+	for i := 0; i < o.HotBranchSites-1; i++ {
+		p *= q
+	}
+	return 1 - p
+}
+
+// Action names what the optimizer did to a branch site.
+type Action string
+
+// The possible decisions of the Fig. 6 algorithm.
+const (
+	ActNone          Action = "none"
+	ActLikely        Action = "likely"
+	ActLikelyRev     Action = "likely-reversed"
+	ActIfConvert     Action = "if-convert"
+	ActSplitPhases   Action = "split-phases"
+	ActSplitPeriodic Action = "split-periodic"
+)
+
+// Decision records one branch's treatment.
+type Decision struct {
+	Site   string
+	Action Action
+	Detail string
+}
+
+// Report summarizes an Optimize run.
+type Report struct {
+	Decisions []Decision
+	// Hoisted counts instructions moved by the speculation pass,
+	// keyed by the block speculated into.
+	Hoisted map[string]int
+}
+
+// Count returns how many decisions took the given action.
+func (r *Report) Count(a Action) int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Action == a {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalHoisted sums the speculation pass's moved instructions.
+func (r *Report) TotalHoisted() int {
+	n := 0
+	for _, v := range r.Hoisted {
+		n += v
+	}
+	return n
+}
+
+// String renders the report for the CLI tools.
+func (r *Report) String() string {
+	s := ""
+	for _, d := range r.Decisions {
+		s += fmt.Sprintf("%-28s %-16s %s\n", d.Site, d.Action, d.Detail)
+	}
+	s += fmt.Sprintf("speculated instructions: %d\n", r.TotalHoisted())
+	return s
+}
+
+// Optimize applies the paper's combined approach to p in place, driven
+// by prof. It is the Fig. 6 algorithm:
+//
+//	for each loop branch:
+//	  backward + highly probable        → branch-likely
+//	  forward + highly probable         → branch-likely (reversed when
+//	                                      biased to fall through)
+//	  forward + unbiased + uniform      → if-convert when the guarded
+//	                                      schedule beats the weighted
+//	                                      base estimate
+//	  forward + unbiased + phase/cyclic → split-branch when the phase
+//	                                      estimate beats both
+//
+// followed by the speculation pass (Fig. 2(c)): every remaining hammock
+// — including the phase versions the split created — has instructions
+// hoisted from its more frequent side into the branch block's vacant
+// issue slots, then from the other side into whatever slots remain.
+// Finally guarded operations are lowered to conditional moves unless
+// opts.SkipLower is set.
+func Optimize(p *prog.Program, prof *profile.Profile, m *machine.Model, opts Options) (*Report, error) {
+	opts = opts.withDefaults(m)
+	if opts.HotBranchSites == 0 {
+		for _, bp := range prof.Sites() {
+			if bp.Count() >= opts.MinCount {
+				opts.HotBranchSites++
+			}
+		}
+	}
+	rep := &Report{Hoisted: make(map[string]int)}
+
+	for _, f := range p.Funcs {
+		if err := optimizeFunc(p, f, prof, m, opts, rep); err != nil {
+			return rep, err
+		}
+	}
+	if !opts.SkipLower {
+		if err := xform.LowerProgram(p); err != nil {
+			return rep, err
+		}
+	}
+	if err := prog.Verify(p, prog.VerifyIR); err != nil {
+		return rep, fmt.Errorf("core: optimizer produced invalid program: %w", err)
+	}
+	return rep, nil
+}
+
+func optimizeFunc(p *prog.Program, f *prog.Func, prof *profile.Profile, m *machine.Model, opts Options, rep *Report) error {
+	loops := prog.NaturalLoops(f)
+	inLoop := make(map[*prog.Block]bool)
+	for _, l := range loops {
+		for b := range l.Blocks {
+			inLoop[b] = true
+		}
+	}
+
+	// Snapshot candidate branch blocks in REVERSE layout order: inner
+	// branches of nested regions come later in layout, and converting
+	// them first (plus block merging) exposes the outer region as a
+	// hammock — the nested-predication path.
+	var candidates []*prog.Block
+	for i := len(f.Blocks) - 1; i >= 0; i-- {
+		b := f.Blocks[i]
+		if inLoop[b] && b.CondBranch() != nil {
+			candidates = append(candidates, b)
+		}
+	}
+
+	for _, b := range candidates {
+		if f.Block(b.Name) != b || b.CondBranch() == nil {
+			continue // removed or rewritten by an earlier decision
+		}
+		site := prog.BranchSiteID(f, b)
+		bp := prof.Site(site)
+		if bp == nil || bp.Count() < opts.MinCount {
+			continue
+		}
+		record := func(a Action, detail string) {
+			rep.Decisions = append(rep.Decisions, Decision{Site: site, Action: a, Detail: detail})
+		}
+
+		bias := bp.Bias()
+		takenBiased := bp.TakenFreq() >= 0.5
+
+		if prog.IsBackwardBranch(f, b) {
+			// Fig. 6's backward-branch arm: only the likely conversion.
+			if !opts.DisableLikely && bias >= opts.LikelyThreshold {
+				if err := xform.MakeLikely(f, b, takenBiased); err == nil {
+					if takenBiased {
+						record(ActLikely, fmt.Sprintf("backward, bias %.3f", bias))
+					} else {
+						record(ActLikelyRev, fmt.Sprintf("backward, bias %.3f", bias))
+					}
+				}
+			}
+			continue
+		}
+
+		// Forward branch.
+		if bias >= opts.LikelyThreshold {
+			if opts.DisableLikely {
+				continue
+			}
+			if err := xform.MakeLikely(f, b, takenBiased); err == nil {
+				if takenBiased {
+					record(ActLikely, fmt.Sprintf("forward, bias %.3f", bias))
+				} else {
+					record(ActLikelyRev, fmt.Sprintf("forward, bias %.3f", bias))
+				}
+			}
+			continue
+		}
+		h := xform.MatchHammock(f, b)
+		if h == nil {
+			record(ActNone, "no hammock shape")
+			continue
+		}
+		est := newEstimator(p, f, m, opts, bp)
+		base := est.baseCost(h)
+
+		// Split arm first: counter-expressible structure (phases or a
+		// cyclic pattern) is exploitable regardless of overall bias —
+		// the paper's non-monotonic + instrumentable case.
+		if inst, ok := bp.Instrumentable(opts.SegOpts); ok && !opts.DisableSplitting {
+			switch inst.Kind {
+			case profile.InstrPeriodic:
+				// A cyclic pattern reappears on any dynamic dispatch
+				// branch, so guarding — which deletes the branch
+				// entirely — is tried first; the counter split is the
+				// fallback when guarding is unavailable or loses.
+				if !opts.DisableGuarding {
+					if guarded, err := est.guardedCost(h); err == nil && guarded < base {
+						if err := xform.IfConvert(f, h, xform.NewPredPool(f)); err == nil {
+							record(ActIfConvert, fmt.Sprintf("periodic pattern; guarded %.1f < base %.1f", guarded, base))
+							continue
+						}
+					}
+				}
+				if plan, planOK := xform.PlanPeriodic(inst.Periodic); planOK {
+					split := est.periodicCost(h, inst.Periodic)
+					if split < base {
+						if _, err := xform.SplitBranchPeriodic(f, h, plan, xform.NewIntPool(f), xform.NewPredPool(f)); err != nil {
+							record(ActNone, "periodic split failed: "+err.Error())
+							continue
+						}
+						record(ActSplitPeriodic, fmt.Sprintf("period %d, split %.1f < base %.1f", plan.Period, split, base))
+						continue
+					}
+					record(ActNone, fmt.Sprintf("periodic split %.1f ≥ base %.1f", split, base))
+					continue
+				}
+				record(ActNone, "periodic pattern not counter-expressible")
+				continue
+			case profile.InstrPhases:
+				split := est.phasesCost(h, inst.Segments)
+				if split < base {
+					phases := xform.PhasesFromSegments(inst.Segments)
+					sr, err := xform.SplitBranch(f, h, phases, xform.NewIntPool(f), xform.NewPredPool(f))
+					if err != nil {
+						record(ActNone, "split failed: "+err.Error())
+						continue
+					}
+					record(ActSplitPhases, fmt.Sprintf("%d phases, split %.1f < base %.1f", len(phases), split, base))
+					// The paper's combined move: when the anomalous
+					// section is cheaper predicated than predicted,
+					// guard the residual — "applying guarded
+					// execution on other sections".
+					maybeGuardResidual(f, sr, est, opts, record)
+					continue
+				}
+				record(ActNone, fmt.Sprintf("phase split %.1f ≥ base %.1f", split, base))
+				// Fall through: a one-time decision (guarding) may
+				// still beat leaving the branch alone.
+			}
+		}
+
+		// Guarded arm: uniform ("monotonic") unpredictable behaviour,
+		// gated by the Fig. 2 cost comparison.
+		if bias > opts.UnbiasedMax {
+			record(ActNone, fmt.Sprintf("bias %.3f between gates", bias))
+			continue
+		}
+		if opts.DisableGuarding {
+			record(ActNone, "uniform; guarding disabled")
+			continue
+		}
+		guarded, err := est.guardedCost(h)
+		if err != nil {
+			record(ActNone, "not if-convertible: "+err.Error())
+			continue
+		}
+		if guarded < base {
+			if err := xform.IfConvert(f, h, xform.NewPredPool(f)); err != nil {
+				record(ActNone, "if-convert failed: "+err.Error())
+				continue
+			}
+			xform.MergeBlocks(f)
+			record(ActIfConvert, fmt.Sprintf("guarded %.1f < base %.1f cycles/occurrence", guarded, base))
+		} else {
+			record(ActNone, fmt.Sprintf("guarded %.1f ≥ base %.1f cycles/occurrence", guarded, base))
+		}
+	}
+
+	// Speculation pass (Fig. 2(c)), including the freshly built phase
+	// versions: hoist from the hot side first, then clean up the dead
+	// rename copies the motion leaves behind.
+	if !opts.DisableSpeculation {
+		speculateFunc(f, prof, m, opts, rep)
+		xform.EliminateDeadCode(f)
+	}
+	return nil
+}
+
+// maybeGuardResidual if-converts the residual (mixed-phase) copy left
+// by a phase split when the guarded schedule beats the 2-bit-predicted
+// one on the anomalous section — the paper's "we can choose to execute
+// the guarded (or if-converted) versions as well".
+func maybeGuardResidual(f *prog.Func, sr *xform.SplitResult, est *estimator, opts Options, record func(Action, string)) {
+	if opts.DisableGuarding || sr.Residual == nil {
+		return
+	}
+	rh := xform.MatchHammock(f, sr.Residual)
+	if rh == nil {
+		return
+	}
+	// The residual serves the mixed section: compare against its
+	// 2-bit-predicted cost at 50/50 behaviour (aliasing included).
+	mixed, guarded2, err2 := est.mixedResidualCosts(rh)
+	if err2 != nil || guarded2 >= mixed {
+		return
+	}
+	guarded := guarded2
+	if err := xform.IfConvert(f, rh, xform.NewPredPool(f)); err != nil {
+		return
+	}
+	xform.MergeBlocks(f)
+	record(ActIfConvert, fmt.Sprintf("residual guarded %.1f < predicted %.1f", guarded, mixed))
+}
+
+// speculateFunc is the code-motion pass over every hammock — including
+// the phase versions the split created, each of which carries its own
+// copy of the region (Fig. 3's per-phase prioritization): instructions
+// are hoisted from the hotter side first into the branch block's
+// vacant slots, then from the colder side into the remainder, and then
+// join operations sink down into the sides (Fig. 2(c)'s copied ops).
+func speculateFunc(f *prog.Func, prof *profile.Profile, m *machine.Model, opts Options, rep *Report) {
+	pool := xform.NewIntPool(f)
+	pool.Reserve(3) // keep temporaries available for guard lowering
+	blocks := append([]*prog.Block(nil), f.Blocks...)
+	for _, b := range blocks {
+		if f.Block(b.Name) != b {
+			continue
+		}
+		br := b.CondBranch()
+		if br == nil {
+			continue
+		}
+		h := xform.MatchHammock(f, b)
+		if h == nil {
+			continue
+		}
+		// Order sides hot-first: likely branches are biased to their
+		// target; otherwise use the profile, defaulting to taken.
+		pTaken := 0.75
+		if br.Op.IsLikely() {
+			pTaken = 0.95
+		} else if bp := prof.Site(prog.BranchSiteID(f, b)); bp != nil {
+			pTaken = bp.TakenFreq()
+		}
+		sides := []*prog.Block{h.Taken, h.Fall}
+		probs := []float64{pTaken, 1 - pTaken}
+		if pTaken < 0.5 {
+			sides[0], sides[1] = sides[1], sides[0]
+			probs[0], probs[1] = probs[1], probs[0]
+		}
+		for i, side := range sides {
+			if side == nil {
+				continue
+			}
+			k := estimateHoistBenefit(b, side, probs[i], m)
+			if k == 0 {
+				continue
+			}
+			n, err := xform.Speculate(f, b, side, pool, xform.SpecOptions{
+				Loads: opts.SpeculateLoads,
+				Max:   k,
+				Model: m,
+			})
+			if err == nil && n > 0 {
+				rep.Hoisted[prog.BranchSiteID(f, b)] += n
+			}
+		}
+		// Downward duplication (Fig. 2(c): "two ops copied from B4"):
+		// join operations ride into the sides' freed slots.
+		if n := xform.Sink(f, h.Join, m); n > 0 {
+			rep.Hoisted[prog.BranchSiteID(f, b)+".join"] += n
+		}
+	}
+	// Deterministic report ordering.
+	sortDecisions(rep)
+}
+
+func sortDecisions(rep *Report) {
+	sort.SliceStable(rep.Decisions, func(i, j int) bool {
+		return rep.Decisions[i].Site < rep.Decisions[j].Site
+	})
+}

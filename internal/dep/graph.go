@@ -1,0 +1,177 @@
+package dep
+
+import (
+	"specguard/internal/isa"
+)
+
+// Kind classifies a dependence edge.
+type Kind int
+
+const (
+	// True: the consumer reads a register the producer writes (RAW).
+	True Kind = iota
+	// Anti: the later instruction overwrites a register the earlier
+	// one reads (WAR).
+	Anti
+	// Output: both write the same register (WAW).
+	Output
+	// Memory: ordering between memory operations that may alias.
+	Memory
+	// Control: ordering against the block terminator — no instruction
+	// may migrate past the branch that ends its block.
+	Control
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case True:
+		return "true"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Memory:
+		return "memory"
+	}
+	return "control"
+}
+
+// Edge is a dependence from instruction index From to index To
+// (From < To always, within one block).
+type Edge struct {
+	From, To int
+	Kind     Kind
+}
+
+// Graph is the dependence graph of one basic block's instructions.
+type Graph struct {
+	Instrs []*isa.Instr
+	// Preds[i] lists the edges whose To is i.
+	Preds [][]Edge
+	// Succs[i] lists the edges whose From is i.
+	Succs [][]Edge
+}
+
+// MayAlias reports whether two memory instructions may access the same
+// word. With only base+offset addressing we can disambiguate a single
+// common case exactly: identical base registers with different offsets
+// never alias (the bases hold the same value at both instructions only
+// if the base register was not redefined between them, which the
+// register dependence edges already enforce — a redefinition creates a
+// true/anti chain that orders the accesses anyway). Anything else is
+// conservatively assumed to alias.
+func MayAlias(a, b *isa.Instr) bool {
+	if a.Rs == b.Rs && a.Imm != b.Imm {
+		return false
+	}
+	return true
+}
+
+// Build constructs the dependence graph of a block's instruction list.
+// Rules:
+//
+//   - register true/anti/output edges from Defs/Uses (guard predicates
+//     are uses, so a guarded instruction depends on its predicate def);
+//   - memory edges between store↔store, store→load and load→store
+//     pairs that MayAlias (load–load pairs are unordered);
+//   - control edges from every instruction to a terminating control
+//     instruction, and from the terminator position backwards never
+//     (the terminator is always last);
+//   - writes to the hardwired r0/p0 still generate edges — treating
+//     them specially would buy nothing and cost a special case.
+func Build(ins []*isa.Instr) *Graph {
+	g := &Graph{
+		Instrs: ins,
+		Preds:  make([][]Edge, len(ins)),
+		Succs:  make([][]Edge, len(ins)),
+	}
+	add := func(from, to int, k Kind) {
+		// Deduplicate: one edge per (from,to,kind).
+		for _, e := range g.Succs[from] {
+			if e.To == to && e.Kind == k {
+				return
+			}
+		}
+		e := Edge{From: from, To: to, Kind: k}
+		g.Succs[from] = append(g.Succs[from], e)
+		g.Preds[to] = append(g.Preds[to], e)
+	}
+
+	for j, b := range ins {
+		bDefs, bUses := DefsOf(b), UsesOf(b)
+		for i := j - 1; i >= 0; i-- {
+			a := ins[i]
+			aDefs, aUses := DefsOf(a), UsesOf(a)
+			if aDefs.Intersects(bUses) {
+				add(i, j, True)
+			}
+			if aUses.Intersects(bDefs) {
+				add(i, j, Anti)
+			}
+			if aDefs.Intersects(bDefs) {
+				add(i, j, Output)
+			}
+			if a.Op.IsMem() && b.Op.IsMem() &&
+				(a.Op.IsStore() || b.Op.IsStore()) && MayAlias(a, b) {
+				add(i, j, Memory)
+			}
+		}
+		if b.Op.IsControl() {
+			for i := 0; i < j; i++ {
+				add(i, j, Control)
+			}
+		}
+	}
+	return g
+}
+
+// Latency returns the issue-to-issue latency an edge imposes given the
+// producer's execution latency: a true or memory dependence waits for
+// the producer's result; anti, output and control dependences only
+// require non-reversed issue order (same cycle allowed).
+func (e Edge) Latency(producerLatency int) int {
+	switch e.Kind {
+	case True, Memory:
+		return producerLatency
+	}
+	return 0
+}
+
+// Roots returns the indices with no incoming edges (ready at cycle 0).
+func (g *Graph) Roots() []int {
+	var roots []int
+	for i := range g.Instrs {
+		if len(g.Preds[i]) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// HasPath reports whether a dependence path exists from index a to
+// index b (a < b). Used by tests and by speculation legality checks.
+func (g *Graph) HasPath(a, b int) bool {
+	if a >= b {
+		return false
+	}
+	seen := make([]bool, len(g.Instrs))
+	stack := []int{a}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range g.Succs[n] {
+			if e.To <= b {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package dep
+
+import (
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// Live holds the liveness solution for one function.
+type Live struct {
+	In  map[*prog.Block]RegSet
+	Out map[*prog.Block]RegSet
+}
+
+// Liveness computes per-block live-in/live-out sets by the standard
+// backward dataflow iteration. A guarded definition is treated as a
+// conditional def: it does NOT kill liveness (the old value may still
+// be needed when the predicate is false) but its uses count. This is
+// the "most conservative assumption" the paper says must be made
+// without a full predicate analyzer, and it is exactly what makes
+// over-predication impede speculation (§3).
+//
+// Calls are handled conservatively: every register is assumed live
+// across a call (callees are not analyzed interprocedurally), so a
+// block ending in a call gets a full live-out set. Symmetrically, Ret
+// makes every register live (the caller may read anything) and Halt
+// makes every register live (final machine state is observable) —
+// without this, a transform could legally clobber a register whose
+// value the surrounding context still observes.
+func Liveness(f *prog.Func) *Live {
+	l := &Live{
+		In:  make(map[*prog.Block]RegSet, len(f.Blocks)),
+		Out: make(map[*prog.Block]RegSet, len(f.Blocks)),
+	}
+
+	var all RegSet
+	for i := 0; i < isa.NumIntRegs; i++ {
+		all.Add(isa.R(i))
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		all.Add(isa.F(i))
+	}
+	for i := 0; i < isa.NumPredRegs; i++ {
+		all.Add(isa.P(i))
+	}
+
+	gen := make(map[*prog.Block]RegSet, len(f.Blocks))
+	kill := make(map[*prog.Block]RegSet, len(f.Blocks))
+	barrier := make(map[*prog.Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		var g, k RegSet
+		for _, in := range b.Instrs {
+			uses := UsesOf(in)
+			g = g.Union(uses.Minus(k))
+			if !in.Guarded() { // guarded defs are conditional: no kill
+				k = k.Union(DefsOf(in))
+			}
+			switch in.Op {
+			case isa.Call, isa.Ret, isa.Halt:
+				barrier[b] = true
+			}
+		}
+		gen[b], kill[b] = g, k
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse layout order for fast convergence.
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			var out RegSet
+			if barrier[b] {
+				out = all
+			} else {
+				for _, s := range b.Succs {
+					out = out.Union(l.In[s])
+				}
+			}
+			in := gen[b].Union(out.Minus(kill[b]))
+			if !out.Equal(l.Out[b]) || !in.Equal(l.In[b]) {
+				l.Out[b], l.In[b] = out, in
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// LiveAt returns the set of registers live immediately before
+// instruction index idx of block b (idx == len(b.Instrs) gives
+// live-out). Computed by walking backwards from live-out.
+func (l *Live) LiveAt(b *prog.Block, idx int) RegSet {
+	live := l.Out[b]
+	for i := len(b.Instrs) - 1; i >= idx; i-- {
+		in := b.Instrs[i]
+		if !in.Guarded() {
+			live = live.Minus(DefsOf(in))
+		}
+		live = live.Union(UsesOf(in))
+	}
+	return live
+}

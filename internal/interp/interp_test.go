@@ -1,0 +1,556 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+func run(t *testing.T, src string) (*Interp, Result) {
+	t.Helper()
+	p := asm.MustParse(src)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestArithmetic(t *testing.T) {
+	m, _ := run(t, `
+func main:
+B0:
+	li r1, 6
+	li r2, 7
+	mul r3, r1, r2
+	add r4, r3, 8
+	sub r5, r4, r1
+	and r6, r5, 15
+	or r7, r6, 32
+	xor r8, r7, 1
+	slt r9, r1, r2
+	slt r10, r2, r1
+	sll r11, r1, 4
+	srl r12, r11, 2
+	sra r13, r11, 1
+	div r14, r4, r2
+	nor r15, r0, r0
+	halt
+`)
+	want := map[int]int64{
+		1: 6, 2: 7, 3: 42, 4: 50, 5: 44, 6: 12, 7: 44, 8: 45,
+		9: 1, 10: 0, 11: 96, 12: 24, 13: 48, 14: 7, 15: -1,
+	}
+	for r, v := range want {
+		if got := m.Reg(isa.R(r)); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	m, _ := run(t, `
+func main:
+B0:
+	li r0, 99
+	add r1, r0, 5
+	halt
+`)
+	if m.Reg(isa.R(0)) != 0 {
+		t.Error("r0 must stay zero")
+	}
+	if m.Reg(isa.R(1)) != 5 {
+		t.Errorf("r1 = %d, want 5", m.Reg(isa.R(1)))
+	}
+}
+
+func TestLoopAndBranchEvents(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+	li r1, 0
+	li r2, 0
+loop:
+	add r2, r2, r1
+	add r1, r1, 1
+	blt r1, 10, loop
+exit:
+	halt
+`)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []string
+	var outcomes []bool
+	res, err := m.Run(func(ev Event) {
+		if ev.Branch {
+			sites = append(sites, ev.BranchSite)
+			outcomes = append(outcomes, ev.Taken)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(isa.R(2)); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+	if len(outcomes) != 10 {
+		t.Fatalf("branch executed %d times, want 10", len(outcomes))
+	}
+	for i := 0; i < 9; i++ {
+		if !outcomes[i] {
+			t.Errorf("iteration %d should be taken", i)
+		}
+	}
+	if outcomes[9] {
+		t.Error("final iteration should fall through")
+	}
+	for _, s := range sites {
+		if s != "main.loop" {
+			t.Errorf("branch site = %q, want main.loop", s)
+		}
+	}
+	if res.Branches != 10 || res.TakenCount != 9 {
+		t.Errorf("res branches=%d taken=%d", res.Branches, res.TakenCount)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	m, res := run(t, `
+func main:
+B0:
+	li r1, 64
+	li r2, 12345
+	sw r2, 0(r1)
+	lw r3, 0(r1)
+	sw r3, 8(r1)
+	lw r4, 8(r1)
+	halt
+`)
+	if m.Reg(isa.R(4)) != 12345 {
+		t.Errorf("r4 = %d", m.Reg(isa.R(4)))
+	}
+	if v, _ := m.ReadWord(72); v != 12345 {
+		t.Errorf("mem[72] = %d", v)
+	}
+	if res.MemOps != 4 {
+		t.Errorf("MemOps = %d, want 4", res.MemOps)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r1, 64
+	lf f1, 0(r1)
+	lf f2, 8(r1)
+	fadd f3, f1, f2
+	fmul f4, f3, f2
+	fsub f5, f4, f1
+	fdiv f6, f5, f2
+	fmov f7, f6
+	sf f7, 16(r1)
+	halt
+`)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install 2.0 and 3.0 as raw float bits.
+	if err := m.WriteWord(64, floatBits(2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(72, floatBits(3.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// ((2+3)*3 - 2) / 3 = 13/3
+	want := (2.0+3.0)*3.0 - 2.0
+	want /= 3.0
+	if got := m.FReg(isa.F(7)); got != want {
+		t.Errorf("f7 = %g, want %g", got, want)
+	}
+}
+
+func floatBits(f float64) int64 { return int64(math.Float64bits(f)) }
+
+func TestCallsAndReturns(t *testing.T) {
+	m, _ := run(t, `
+func main:
+entry:
+	li r1, 5
+	call double
+after:
+	call double
+after2:
+	halt
+func double:
+d0:
+	add r1, r1, r1
+	ret
+`)
+	if got := m.Reg(isa.R(1)); got != 20 {
+		t.Errorf("r1 = %d, want 20", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	m, _ := run(t, `
+func main:
+entry:
+	li r1, 1
+	call outer
+after:
+	halt
+func outer:
+o0:
+	add r1, r1, 10
+	call inner
+o1:
+	add r1, r1, 100
+	ret
+func inner:
+i0:
+	add r1, r1, 1000
+	ret
+`)
+	if got := m.Reg(isa.R(1)); got != 1111 {
+		t.Errorf("r1 = %d, want 1111", got)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	m, _ := run(t, `
+func main:
+entry:
+	li r1, 0
+	li r5, 0
+loop:
+	and r2, r1, 1
+	add r2, r2, 1
+	switch r2, c0, c1, c2
+c0:
+	add r5, r5, 1
+	j next
+c1:
+	add r5, r5, 10
+	j next
+c2:
+	add r5, r5, 100
+	j next
+next:
+	add r1, r1, 1
+	blt r1, 4, loop
+exit:
+	halt
+`)
+	// r2 alternates 1,2,1,2 → +10,+100,+10,+100 = 220
+	if got := m.Reg(isa.R(5)); got != 220 {
+		t.Errorf("r5 = %d, want 220", got)
+	}
+}
+
+func TestPredicatesAndGuards(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r1, 3
+	li r2, 3
+	peq p1, r1, r2
+	plt p2, r1, 2
+	pand p3, p1, p2
+	por p4, p1, p2
+	pnot p5, p2
+	li r3, 0
+	li r4, 0
+	li r5, 0
+	(p1) add r3, r3, 1
+	(p2) add r4, r4, 1
+	(!p2) add r5, r5, 1
+	(p0) add r6, r0, 7
+	halt
+`)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var annulled int
+	res, err := m.Run(func(ev Event) {
+		if ev.Annulled {
+			annulled++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(isa.R(3)) != 1 {
+		t.Error("(p1) add should have executed")
+	}
+	if m.Reg(isa.R(4)) != 0 {
+		t.Error("(p2) add should have been annulled")
+	}
+	if m.Reg(isa.R(5)) != 1 {
+		t.Error("(!p2) add should have executed")
+	}
+	if m.Reg(isa.R(6)) != 7 {
+		t.Error("p0-guarded op must always execute")
+	}
+	if annulled != 1 || res.Annulled != 1 {
+		t.Errorf("annulled = %d/%d, want 1", annulled, res.Annulled)
+	}
+	if !m.Pred(isa.P(4)) || m.Pred(isa.P(3)) || !m.Pred(isa.P(5)) {
+		t.Error("predicate logic ops wrong")
+	}
+}
+
+func TestPredicateBranch(t *testing.T) {
+	m, _ := run(t, `
+func main:
+B0:
+	li r1, 5
+	pge p1, r1, 5
+	bp p1, yes
+no:
+	li r2, 0
+	j end
+yes:
+	li r2, 1
+end:
+	halt
+`)
+	if m.Reg(isa.R(2)) != 1 {
+		t.Error("bp should have branched")
+	}
+}
+
+func TestP0Hardwired(t *testing.T) {
+	m, _ := run(t, `
+func main:
+B0:
+	li r1, 1
+	li r2, 2
+	pne p0, r1, r1
+	(p0) li r3, 9
+	halt
+`)
+	if !m.Pred(isa.P(0)) {
+		t.Error("p0 must stay true")
+	}
+	if m.Reg(isa.R(3)) != 9 {
+		t.Error("p0 guard must be true")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main:\nB0:\n\tli r1, 1\n\tli r2, 0\n\tdiv r3, r1, r2\n\thalt", "division by zero"},
+		{"func main:\nB0:\n\tli r1, -8\n\tlw r2, 0(r1)\n\thalt", "out of range"},
+		{"func main:\nB0:\n\tli r1, 4\n\tlw r2, 0(r1)\n\thalt", "unaligned"},
+		{"func main:\nB0:\n\tli r1, 5\n\tswitch r1, a, b\na:\n\tj end\nb:\n\tj end\nend:\n\thalt", "out of range"},
+		{"func main:\nB0:\n\tret", "return from entry"},
+	}
+	for _, c := range cases {
+		p := asm.MustParse(c.src)
+		m, err := New(p, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.Run(nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Run(%q): err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestMaxStepsBackstop(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+spin:
+	j spin
+end:
+	halt
+`)
+	m, err := New(p, nil, Options{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err == nil || !strings.Contains(err.Error(), "MaxSteps") {
+		t.Errorf("want MaxSteps error, got %v", err)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	p := asm.MustParse("func main:\nB0:\n\thalt")
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != ErrHalted {
+		t.Errorf("second step err = %v, want ErrHalted", err)
+	}
+	if !m.Halted() {
+		t.Error("Halted() should be true")
+	}
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r1, 1
+	li r2, 2
+	halt
+func f:
+F0:
+	ret
+`)
+	l := NewLayout(p)
+	ins := p.Func("main").Block("B0").Instrs
+	if l.Addr(ins[0]) != 0 || l.Addr(ins[1]) != 4 || l.Addr(ins[2]) != 8 {
+		t.Error("main addresses not sequential from 0")
+	}
+	if got := l.Addr(p.Func("f").Block("F0").Instrs[0]); got != 12 {
+		t.Errorf("f.F0[0] addr = %d, want 12", got)
+	}
+	if l.NumInstrs() != 4 {
+		t.Errorf("NumInstrs = %d", l.NumInstrs())
+	}
+}
+
+func TestDynInstrCountsAndAddrEvents(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r1, 0
+loop:
+	add r1, r1, 1
+	blt r1, 3, loop
+end:
+	halt
+`)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	res, err := m.Run(func(ev Event) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li + 3×(add,blt) + halt = 8
+	if res.DynInstrs != 8 || n != 8 {
+		t.Errorf("DynInstrs = %d (visited %d), want 8", res.DynInstrs, n)
+	}
+}
+
+// Property-style check: the builder and the interpreter agree on a
+// computed recurrence for a range of trip counts.
+func TestTripCountsAgree(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 10, 100, 1000} {
+		b := prog.NewBuilder("main")
+		b.Block("entry").Li(isa.R(1), 0).Li(isa.R(2), 0)
+		b.Block("loop").
+			Op3(isa.Add, isa.R(2), isa.R(2), isa.R(1)).
+			OpI(isa.Add, isa.R(1), isa.R(1), 1).
+			BranchI(isa.Blt, isa.R(1), n, "loop")
+		b.Block("end").Halt()
+		p := prog.NewProgram()
+		p.AddFunc(b.Func())
+		m, err := New(p, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		want := n * (n - 1) / 2
+		if got := m.Reg(isa.R(2)); got != want {
+			t.Errorf("n=%d: sum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStepsCounterAndWriteWordErrors(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r1, 1
+	li r2, 2
+	halt
+`)
+	m, err := New(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 0 {
+		t.Error("fresh machine has executed steps")
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1", m.Steps())
+	}
+	if err := m.WriteWord(-8, 1); err == nil {
+		t.Error("negative address must fail")
+	}
+	if err := m.WriteWord(3, 1); err == nil {
+		t.Error("unaligned address must fail")
+	}
+	if err := m.WriteWord(1<<40, 1); err == nil {
+		t.Error("out-of-range address must fail")
+	}
+}
+
+func TestLayoutAddrPanicsOnForeignInstr(t *testing.T) {
+	p := asm.MustParse("func main:\nB0:\n\thalt")
+	l := NewLayout(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("Addr of an unlaid-out instruction must panic")
+		}
+	}()
+	l.Addr(&isa.Instr{Op: isa.Nop})
+}
+
+func TestShiftAmountMasking(t *testing.T) {
+	m, _ := run(t, `
+func main:
+B0:
+	li r1, 1
+	li r2, 65
+	sll r3, r1, r2
+	li r4, -16
+	sra r5, r4, 2
+	srl r6, r4, 60
+	halt
+`)
+	// Shift amounts are masked to 6 bits: 65 & 63 = 1.
+	if got := m.Reg(isa.R(3)); got != 2 {
+		t.Errorf("sll by 65 = %d, want 2", got)
+	}
+	if got := m.Reg(isa.R(5)); got != -4 {
+		t.Errorf("sra -16 >> 2 = %d, want -4 (arithmetic)", got)
+	}
+	if got := m.Reg(isa.R(6)); got != 15 {
+		t.Errorf("srl -16 >>> 60 = %d, want 15 (logical)", got)
+	}
+}

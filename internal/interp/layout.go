@@ -1,0 +1,54 @@
+// Package interp executes specguard programs architecturally and emits
+// the committed dynamic instruction stream. It is the oracle of the
+// whole study: profiles (internal/profile) are gathered from its branch
+// events, the pipeline timing model (internal/pipeline) replays its
+// event stream, and the transformation property tests compare
+// architectural results before and after each compiler pass.
+package interp
+
+import (
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// InstrBytes is the encoded size of one instruction; addresses advance
+// by this much, as on MIPS.
+const InstrBytes = 4
+
+// Layout assigns a code address to every static instruction of the
+// program, function by function in declaration order. Addresses are
+// what the branch predictor's BTB and the instruction cache index by.
+type Layout struct {
+	addr  map[*isa.Instr]uint64
+	total int
+}
+
+// NewLayout computes the code layout of p.
+func NewLayout(p *prog.Program) *Layout {
+	l := &Layout{addr: make(map[*isa.Instr]uint64)}
+	var pc uint64
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				l.addr[in] = pc
+				pc += InstrBytes
+				l.total++
+			}
+		}
+	}
+	return l
+}
+
+// Addr returns the code address of in. It panics if in is not part of
+// the laid-out program — that always indicates a transform created an
+// instruction after layout, which is a phase-ordering bug.
+func (l *Layout) Addr(in *isa.Instr) uint64 {
+	a, ok := l.addr[in]
+	if !ok {
+		panic("interp: instruction not in layout")
+	}
+	return a
+}
+
+// NumInstrs returns the static instruction count covered by the layout.
+func (l *Layout) NumInstrs() int { return l.total }

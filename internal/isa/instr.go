@@ -1,0 +1,188 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one instruction. The same value flows through the assembler,
+// the compiler passes, the architectural interpreter and the pipeline
+// simulator.
+//
+// Operand conventions (see each Op's comment):
+//   - Rd is the destination (integer, FP or predicate register).
+//   - Rs, Rt are sources. For three-operand ALU/shift ops, Rt == NoReg
+//     selects the immediate form with Imm as the second operand.
+//   - Memory ops address Imm(Rs); Lw/Lf write Rd, Sw/Sf read Rd
+//     (the value register) — Rd doubles as "rt" in MIPS store syntax.
+//   - Branches compare Rs against Rt (or Imm when Rt == NoReg) and
+//     transfer to Label; Switch indexes Targets by the value of Rs.
+//
+// Pred, when valid, guards execution: the instruction issues and occupies
+// its functional unit normally, but if the predicate is false (or true,
+// when PredNeg is set) its result is annulled — it neither updates
+// architectural state nor counts toward IPC (the paper's "excluding
+// annulled"). Only Mov may carry a predicate in machine-legal code
+// (that is the R10000 conditional move); other guarded ops are
+// compiler-internal and must be lowered by xform.LowerGuards.
+type Instr struct {
+	Op      Op
+	Rd      Reg
+	Rs      Reg
+	Rt      Reg
+	Imm     int64
+	Label   string   // branch/jump/call target
+	Targets []string // Switch targets
+
+	Pred    Reg  // guard predicate; NoReg = unguarded
+	PredNeg bool // execute when Pred is false instead of true
+
+	// Speculated marks instructions hoisted above their controlling
+	// branch by xform.Speculate; it is bookkeeping for reports and has
+	// no execution semantics.
+	Speculated bool
+}
+
+// HasImmOperand reports whether the second source operand comes from Imm.
+func (in *Instr) HasImmOperand() bool {
+	switch in.Op.info().format {
+	case fmtR3, fmtBr2:
+		return in.Rt == NoReg
+	case fmtRI, fmtMem:
+		return true
+	}
+	return false
+}
+
+// Defs returns the registers written by the instruction.
+// Writes to r0 and p0 are architectural no-ops but are still reported
+// here; dependence analysis treats them like any other def so that
+// transforms never need a special case (the interpreter discards them).
+func (in *Instr) Defs() []Reg {
+	switch in.Op.info().format {
+	case fmtR3, fmtR2, fmtRI, fmtP3, fmtP2:
+		if in.Op == Nop {
+			return nil
+		}
+		return []Reg{in.Rd}
+	case fmtMem:
+		if in.Op.IsLoad() {
+			return []Reg{in.Rd}
+		}
+	}
+	return nil
+}
+
+// Uses returns the registers read by the instruction, including the
+// guard predicate and, for stores, the value register.
+func (in *Instr) Uses() []Reg {
+	var u []Reg
+	switch in.Op.info().format {
+	case fmtR3, fmtP3:
+		u = append(u, in.Rs)
+		if in.Rt != NoReg {
+			u = append(u, in.Rt)
+		}
+	case fmtR2, fmtP2:
+		u = append(u, in.Rs)
+	case fmtRI:
+		// immediate only
+	case fmtMem:
+		u = append(u, in.Rs) // base address
+		if in.Op.IsStore() {
+			u = append(u, in.Rd) // value being stored
+		}
+	case fmtBr2:
+		u = append(u, in.Rs)
+		if in.Rt != NoReg {
+			u = append(u, in.Rt)
+		}
+	case fmtBrP, fmtSwitch:
+		u = append(u, in.Rs)
+	}
+	if in.Pred.Valid() {
+		u = append(u, in.Pred)
+	}
+	return u
+}
+
+// Guarded reports whether the instruction carries a guard predicate.
+func (in *Instr) Guarded() bool { return in.Pred.Valid() }
+
+// MachineLegal reports whether the instruction could be emitted for the
+// R10000 target, whose only predicated operations are the integer and
+// floating-point conditional moves (MOVZ/MOVN, MOVT.fmt/MOVF.fmt): any
+// other guarded op is a compiler-internal "fictional operation" that
+// xform.LowerGuards must expand first.
+func (in *Instr) MachineLegal() bool {
+	return !in.Guarded() || in.Op == Mov || in.Op == FMov
+}
+
+// String formats the instruction in the assembler syntax accepted by
+// internal/asm, e.g. "add r3, r1, r2", "lw r4, 8(r5)",
+// "beq r1, r2, L1", "(p1) mov r6, r9", "(!p2) add r1, r1, 1".
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Guarded() {
+		if in.PredNeg {
+			fmt.Fprintf(&b, "(!%s) ", in.Pred)
+		} else {
+			fmt.Fprintf(&b, "(%s) ", in.Pred)
+		}
+	}
+	b.WriteString(in.Op.String())
+	arg := func(first bool, s string) {
+		if first {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	second := func() string {
+		if in.Rt != NoReg {
+			return in.Rt.String()
+		}
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	switch in.Op.info().format {
+	case fmtNone:
+	case fmtR3, fmtP3:
+		arg(true, in.Rd.String())
+		arg(false, in.Rs.String())
+		arg(false, second())
+	case fmtR2, fmtP2:
+		arg(true, in.Rd.String())
+		arg(false, in.Rs.String())
+	case fmtRI:
+		arg(true, in.Rd.String())
+		arg(false, fmt.Sprintf("%d", in.Imm))
+	case fmtMem:
+		arg(true, in.Rd.String())
+		arg(false, fmt.Sprintf("%d(%s)", in.Imm, in.Rs))
+	case fmtBr2:
+		arg(true, in.Rs.String())
+		arg(false, second())
+		arg(false, in.Label)
+	case fmtBrP:
+		arg(true, in.Rs.String())
+		arg(false, in.Label)
+	case fmtLbl:
+		arg(true, in.Label)
+	case fmtSwitch:
+		arg(true, in.Rs.String())
+		for _, t := range in.Targets {
+			arg(false, t)
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the instruction (Targets included).
+func (in *Instr) Clone() *Instr {
+	c := *in
+	if in.Targets != nil {
+		c.Targets = append([]string(nil), in.Targets...)
+	}
+	return &c
+}

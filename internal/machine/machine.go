@@ -1,0 +1,132 @@
+// Package machine holds the target description shared by the local
+// scheduler (internal/sched) and the timing simulator
+// (internal/pipeline): functional-unit counts, operation latencies
+// (paper Table 2), queue and register-file sizes, predictor and cache
+// geometry. The default configuration is the MIPS R10000-like model of
+// the paper's §6.
+package machine
+
+import "specguard/internal/isa"
+
+// Model describes the target machine.
+type Model struct {
+	// IssueWidth is the in-order fetch/dispatch width and the in-order
+	// commit width (4 on the R10000).
+	IssueWidth int
+
+	// Units maps each functional-unit class to its count. All units
+	// are fully pipelined: they accept a new operation every cycle and
+	// latency only delays dependents.
+	Units map[isa.UnitClass]int
+
+	// Latencies, in cycles (Table 2). Integer multiply/divide are
+	// extensions (Table 2 omits them; their workloads barely use them).
+	AluLat, ShiftLat, LdStLat, FPAddLat, FPMulLat, FPDivLat int
+	MulLat, DivLat, BranchLat                               int
+
+	// CacheMissPenalty is added to a load/store on a D-cache miss and
+	// to fetch on an I-cache miss (Table 2: 6).
+	CacheMissPenalty int
+
+	// Queue sizes (paper §6): 16-entry integer, address and FP queues;
+	// 4-entry branch stack.
+	IntQueue, AddrQueue, FPQueue, BranchStack int
+
+	// ActiveList is the reorder-buffer depth (32 on the R10000).
+	ActiveList int
+
+	// RenameRegs is the number of rename registers per file beyond the
+	// 32 architectural ones (32 on the R10000: "the chip uses the
+	// other 32 registers for its internal use").
+	RenameRegs int
+
+	// Predictor geometry: 512-entry 2-bit counter table.
+	PredictorEntries int
+
+	// MispredictPenalty is the recovery bubble after a resolved
+	// misprediction, beyond waiting for resolution itself (the
+	// front-end refill of a 4-wide fetch pipeline).
+	MispredictPenalty int
+
+	// Caches: 32 KB each, direct-mapped, 32-byte lines.
+	ICacheBytes, DCacheBytes, CacheLineBytes int
+}
+
+// R10000 returns the paper's machine model.
+func R10000() *Model {
+	return &Model{
+		IssueWidth: 4,
+		Units: map[isa.UnitClass]int{
+			isa.UnitALU:    2,
+			isa.UnitShift:  1,
+			isa.UnitLdSt:   1,
+			isa.UnitFPAdd:  1,
+			isa.UnitFPMul:  1,
+			isa.UnitFPDiv:  1,
+			isa.UnitBranch: 1, // branches resolve on ALU1's port
+		},
+		AluLat:            1,
+		ShiftLat:          1,
+		LdStLat:           2,
+		FPAddLat:          3,
+		FPMulLat:          3,
+		FPDivLat:          3,
+		MulLat:            3,
+		DivLat:            6,
+		BranchLat:         1,
+		CacheMissPenalty:  6,
+		IntQueue:          16,
+		AddrQueue:         16,
+		FPQueue:           16,
+		BranchStack:       4,
+		ActiveList:        32,
+		RenameRegs:        32,
+		PredictorEntries:  512,
+		MispredictPenalty: 4,
+		ICacheBytes:       32 << 10,
+		DCacheBytes:       32 << 10,
+		CacheLineBytes:    32,
+	}
+}
+
+// Latency returns the execution latency of op, assuming a cache hit
+// for memory operations.
+func (m *Model) Latency(op isa.Op) int {
+	switch op {
+	case isa.Mul:
+		return m.MulLat
+	case isa.Div:
+		return m.DivLat
+	}
+	switch op.Unit() {
+	case isa.UnitALU:
+		return m.AluLat
+	case isa.UnitShift:
+		return m.ShiftLat
+	case isa.UnitLdSt:
+		return m.LdStLat
+	case isa.UnitFPAdd:
+		return m.FPAddLat
+	case isa.UnitFPMul:
+		return m.FPMulLat
+	case isa.UnitFPDiv:
+		return m.FPDivLat
+	case isa.UnitBranch:
+		return m.BranchLat
+	}
+	return 1
+}
+
+// UnitCount returns how many units of class u exist (0 for UnitNone).
+func (m *Model) UnitCount(u isa.UnitClass) int { return m.Units[u] }
+
+// Clone returns an independent copy of the model, for ablation sweeps
+// that vary one parameter.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.Units = make(map[isa.UnitClass]int, len(m.Units))
+	for k, v := range m.Units {
+		c.Units[k] = v
+	}
+	return &c
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+
+	"specguard/internal/isa"
+)
+
+func TestR10000MatchesPaperConfiguration(t *testing.T) {
+	m := R10000()
+	// §6: "can issue up to 4 instructions".
+	if m.IssueWidth != 4 {
+		t.Errorf("IssueWidth = %d", m.IssueWidth)
+	}
+	// "two arithmetic logic units … three floating-point units and an
+	// address-calculation unit".
+	if m.UnitCount(isa.UnitALU) != 2 {
+		t.Errorf("ALUs = %d", m.UnitCount(isa.UnitALU))
+	}
+	if m.UnitCount(isa.UnitLdSt) != 1 || m.UnitCount(isa.UnitShift) != 1 {
+		t.Error("address-calc/shifter counts wrong")
+	}
+	fp := m.UnitCount(isa.UnitFPAdd) + m.UnitCount(isa.UnitFPMul) + m.UnitCount(isa.UnitFPDiv)
+	if fp != 3 {
+		t.Errorf("FP units = %d, want 3", fp)
+	}
+	// "The FP queue (consisting of 16 entries) … address queue (16
+	// entries) and integer queue (16 entries)".
+	if m.IntQueue != 16 || m.AddrQueue != 16 || m.FPQueue != 16 {
+		t.Error("queue sizes wrong")
+	}
+	if m.BranchStack != 4 {
+		t.Errorf("branch stack = %d", m.BranchStack)
+	}
+	// "register files comprises of 64 registers … only 32 visible".
+	if m.RenameRegs != 32 {
+		t.Errorf("rename registers = %d", m.RenameRegs)
+	}
+	// "512-entry, 2-bit buffer".
+	if m.PredictorEntries != 512 {
+		t.Errorf("predictor entries = %d", m.PredictorEntries)
+	}
+	// "32-KB instruction and 32-KB data cache".
+	if m.ICacheBytes != 32<<10 || m.DCacheBytes != 32<<10 {
+		t.Error("cache sizes wrong")
+	}
+}
+
+func TestTable2Latencies(t *testing.T) {
+	m := R10000()
+	cases := map[isa.Op]int{
+		isa.Add:  1,
+		isa.Sll:  1,
+		isa.Lw:   2,
+		isa.Sw:   2,
+		isa.FAdd: 3,
+		isa.FMul: 3,
+		isa.FDiv: 3,
+		isa.Mul:  3, // extension (Table 2 omits integer multiply)
+		isa.Div:  6, // extension
+		isa.Beq:  1,
+	}
+	for op, want := range cases {
+		if got := m.Latency(op); got != want {
+			t.Errorf("Latency(%v) = %d, want %d", op, got, want)
+		}
+	}
+	if m.CacheMissPenalty != 6 {
+		t.Errorf("miss penalty = %d, want 6 (Table 2)", m.CacheMissPenalty)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := R10000()
+	c := m.Clone()
+	c.IssueWidth = 8
+	c.Units[isa.UnitALU] = 7
+	if m.IssueWidth != 4 || m.UnitCount(isa.UnitALU) != 2 {
+		t.Error("Clone shares state with the original")
+	}
+	if c.UnitCount(isa.UnitALU) != 7 {
+		t.Error("Clone lost its own mutation")
+	}
+}
+
+func TestUnitCountUnknownClass(t *testing.T) {
+	if R10000().UnitCount(isa.UnitNone) != 0 {
+		t.Error("unknown class must report 0 units")
+	}
+}

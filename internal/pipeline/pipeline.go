@@ -1,0 +1,459 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"specguard/internal/cache"
+	"specguard/internal/interp"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+	"specguard/internal/predict"
+)
+
+// Source supplies the committed dynamic instruction stream.
+type Source interface {
+	// Next returns the next committed instruction event, or ok=false
+	// at end of program.
+	Next() (interp.Event, bool, error)
+}
+
+// InterpSource adapts a live interpreter into a Source, running the
+// functional and timing models in lockstep so no trace is buffered.
+type InterpSource struct {
+	m *interp.Interp
+}
+
+// NewInterpSource wraps m.
+func NewInterpSource(m *interp.Interp) *InterpSource { return &InterpSource{m: m} }
+
+// Next implements Source.
+func (s *InterpSource) Next() (interp.Event, bool, error) {
+	ev, err := s.m.Step()
+	if err == interp.ErrHalted {
+		return interp.Event{}, false, nil
+	}
+	if err != nil {
+		return interp.Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// SliceSource replays a pre-recorded event slice; used by tests.
+type SliceSource struct {
+	events []interp.Event
+	pos    int
+}
+
+// NewSliceSource returns a Source over events.
+func NewSliceSource(events []interp.Event) *SliceSource { return &SliceSource{events: events} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (interp.Event, bool, error) {
+	if s.pos >= len(s.events) {
+		return interp.Event{}, false, nil
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, true, nil
+}
+
+// Config assembles one simulation.
+type Config struct {
+	Model     *machine.Model
+	Predictor predict.Predictor
+	// DisableICache / DisableDCache model ideal caches (used by tests
+	// and ablations; the paper's runs keep both enabled).
+	DisableICache bool
+	DisableDCache bool
+	// FetchBufferSize is the decoupling buffer between fetch and
+	// dispatch; defaults to 2× issue width.
+	FetchBufferSize int
+	// Watchdog aborts if no instruction commits for this many cycles
+	// (simulator-bug backstop). Defaults to 100000.
+	Watchdog int64
+	// TrackBranchSites records per-site misprediction counts in
+	// Stats.SiteMispredicts (off by default: it costs a map op per
+	// mispredict).
+	TrackBranchSites bool
+}
+
+type entryState uint8
+
+const (
+	stDispatched entryState = iota
+	stIssued
+	stCompleted
+)
+
+// entry is one reorder-buffer (active list) slot.
+type entry struct {
+	ev    interp.Event
+	seq   int64
+	queue Queue
+	state entryState
+
+	producers []*entry // last writers of each source register (+ memory)
+	complete  int64    // valid once issued
+
+	inQueue bool // still holding its dispatch-queue slot
+	renamed bool // holds an integer/fp rename register until commit
+	fpDest  bool
+}
+
+// fetchItem is a decoded instruction waiting to dispatch.
+type fetchItem struct {
+	ev  interp.Event
+	seq int64
+
+	mispredicted bool // fetched with a wrong direction prediction
+	indirect     bool // stalled fetch until resolution (non-BTB class)
+}
+
+// Pipeline is one configured simulator instance.
+type Pipeline struct {
+	cfg    Config
+	model  *machine.Model
+	pred   predict.Predictor
+	icache *cache.Cache
+	dcache *cache.Cache
+
+	stats Stats
+}
+
+// New validates cfg and returns a simulator.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("pipeline: Config.Model is required")
+	}
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("pipeline: Config.Predictor is required")
+	}
+	if cfg.FetchBufferSize == 0 {
+		cfg.FetchBufferSize = 2 * cfg.Model.IssueWidth
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 100000
+	}
+	p := &Pipeline{cfg: cfg, model: cfg.Model, pred: cfg.Predictor}
+	if !cfg.DisableICache {
+		p.icache = cache.New(cfg.Model.ICacheBytes, cfg.Model.CacheLineBytes)
+	}
+	if !cfg.DisableDCache {
+		p.dcache = cache.New(cfg.Model.DCacheBytes, cfg.Model.CacheLineBytes)
+	}
+	return p, nil
+}
+
+// Run simulates the entire stream from src and returns the statistics.
+func (p *Pipeline) Run(src Source) (Stats, error) {
+	m := p.model
+	queueCap := [numQueues]int{
+		QInt:    m.IntQueue,
+		QAddr:   m.AddrQueue,
+		QFP:     m.FPQueue,
+		QBranch: m.BranchStack,
+	}
+
+	var (
+		rob        = newRing(m.ActiveList)
+		fetchBuf   []fetchItem
+		queueUsed  [numQueues]int
+		intRenames = m.RenameRegs
+		fpRenames  = m.RenameRegs
+
+		// lastWriter maps a register's encoding to its most recent
+		// writer. Committed entries stay valid producers (completed),
+		// so the map is never cleaned — it is bounded by the register
+		// count, and lastStore/lastLoad by the memory footprint.
+		lastWriter [128]*entry
+		lastStore  = map[int64]*entry{}
+		lastLoad   = map[int64]*entry{}
+
+		seq            int64
+		traceDone      bool
+		fetchStalledOn int64 = -1 // seq of the branch fetch waits on
+		fetchResumeAt  int64      // cycle fetch may resume (icache/mispredict)
+		lastCommit     int64
+	)
+
+	s := &p.stats
+	*s = Stats{}
+
+	cycle := int64(0)
+	for {
+		// ---- Complete: finish execution, resolve branches. ----
+		rob.each(func(e *entry) {
+			if e.state != stIssued || e.complete > cycle {
+				return
+			}
+			e.state = stCompleted
+			if e.inQueue && e.queue == QBranch {
+				// Branch-stack entries are held until resolution.
+				queueUsed[QBranch]--
+				e.inQueue = false
+			}
+			op := e.ev.Instr.Op
+			if op.IsCondBranch() {
+				p.pred.Update(e.ev.Addr, op, e.ev.Taken)
+			}
+			if fetchStalledOn == e.seq {
+				fetchStalledOn = -1
+				resume := cycle + 1
+				// Only a mispredicted conditional branch pays the
+				// recovery penalty; an indirect transfer merely
+				// restarts fetch (correctly predicted branches never
+				// set the stall in the first place).
+				if op.IsCondBranch() {
+					resume += int64(m.MispredictPenalty)
+				}
+				if resume > fetchResumeAt {
+					fetchResumeAt = resume
+				}
+			}
+		})
+
+		// ---- Commit: in-order, up to IssueWidth per cycle. ----
+		committed := 0
+		for rob.len() > 0 && committed < m.IssueWidth {
+			e := rob.front()
+			if e.state != stCompleted {
+				break
+			}
+			rob.popFront()
+			committed++
+			s.Committed++
+			lastCommit = cycle
+			if e.ev.Annulled {
+				s.Annulled++
+			}
+			if e.ev.Instr.Op.IsCondBranch() {
+				s.CondBranches++
+			}
+			if e.renamed {
+				if e.fpDest {
+					fpRenames++
+				} else {
+					intRenames++
+				}
+			}
+		}
+
+		// ---- Issue: oldest-first, out of order, per-unit capacity. ----
+		var unitIssued [isa.NumUnitClasses]int
+		rob.each(func(e *entry) {
+			if e.state != stDispatched {
+				return
+			}
+			u := e.ev.Instr.Op.Unit()
+			if unitIssued[u] >= m.UnitCount(u) {
+				return
+			}
+			for _, pr := range e.producers {
+				if pr.state != stCompleted || pr.complete > cycle {
+					return
+				}
+			}
+			lat := m.Latency(e.ev.Instr.Op)
+			if e.ev.IsMem && !e.ev.Annulled && p.dcache != nil {
+				if !p.dcache.Access(uint64(e.ev.MemAddr)) {
+					lat += m.CacheMissPenalty
+					s.DCacheMisses++
+				}
+			}
+			e.state = stIssued
+			e.complete = cycle + int64(lat)
+			// Readiness is decided; drop the producer references so
+			// retired history becomes garbage-collectable (entries
+			// would otherwise chain the whole execution).
+			e.producers = nil
+			unitIssued[u]++
+			s.UnitBusy[u]++
+			if e.inQueue && e.queue != QBranch {
+				queueUsed[e.queue]--
+				e.inQueue = false
+			}
+		})
+		for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+			if cnt := m.UnitCount(u); cnt > 0 && unitIssued[u] == cnt {
+				s.UnitFull[u]++
+			}
+		}
+
+		// ---- Dispatch: in-order from the fetch buffer. ----
+		dispatched := 0
+		for len(fetchBuf) > 0 && dispatched < m.IssueWidth {
+			item := fetchBuf[0]
+			if rob.full() {
+				break
+			}
+			q := queueOf(item.ev.Instr.Op.Unit())
+			if queueUsed[q] >= queueCap[q] {
+				break
+			}
+			needsRename, fp := destRename(item.ev.Instr)
+			if needsRename {
+				if fp && fpRenames == 0 || !fp && intRenames == 0 {
+					break
+				}
+			}
+			e := &entry{
+				ev:      item.ev,
+				seq:     item.seq,
+				queue:   q,
+				state:   stDispatched,
+				inQueue: true,
+				renamed: needsRename,
+				fpDest:  fp,
+			}
+			// Record register producers.
+			for _, r := range item.ev.Instr.Uses() {
+				if w := lastWriter[r]; w != nil {
+					e.producers = append(e.producers, w)
+				}
+			}
+			// Memory ordering: exact disambiguation via trace addresses.
+			if item.ev.IsMem && !item.ev.Annulled {
+				addr := item.ev.MemAddr
+				if item.ev.Instr.Op.IsLoad() {
+					if st := lastStore[addr]; st != nil {
+						e.producers = append(e.producers, st)
+					}
+					lastLoad[addr] = e
+				} else {
+					if st := lastStore[addr]; st != nil {
+						e.producers = append(e.producers, st)
+					}
+					if ld := lastLoad[addr]; ld != nil {
+						e.producers = append(e.producers, ld)
+					}
+					lastStore[addr] = e
+				}
+			}
+			// An annulled instruction's destination write is squashed,
+			// so it must not become a producer.
+			if !item.ev.Annulled {
+				for _, r := range item.ev.Instr.Defs() {
+					lastWriter[r] = e
+				}
+			}
+			if needsRename {
+				if fp {
+					fpRenames--
+				} else {
+					intRenames--
+				}
+			}
+			queueUsed[q]++
+			rob.push(e)
+			fetchBuf = fetchBuf[1:]
+			dispatched++
+		}
+
+		// ---- Fetch: up to IssueWidth, stopping at predicted-taken
+		// branches, stalls and I-cache misses. ----
+		if !traceDone && fetchStalledOn < 0 && cycle >= fetchResumeAt {
+			for fetched := 0; fetched < m.IssueWidth && len(fetchBuf) < p.cfg.FetchBufferSize; fetched++ {
+				ev, ok, err := src.Next()
+				if err != nil {
+					return *s, err
+				}
+				if !ok {
+					traceDone = true
+					break
+				}
+				if p.icache != nil && !p.icache.Access(ev.Addr) {
+					s.ICacheMisses++
+					fetchResumeAt = cycle + int64(m.CacheMissPenalty)
+					// The missing instruction still enters the buffer
+					// (its line is now resident); fetch pauses after it.
+					fetchBuf = append(fetchBuf, p.decodeFetch(ev, &seq, &fetchStalledOn))
+					break
+				}
+				item := p.decodeFetch(ev, &seq, &fetchStalledOn)
+				fetchBuf = append(fetchBuf, item)
+				if fetchStalledOn >= 0 {
+					break // fetch waits for this control transfer
+				}
+				if item.ev.Branch && item.ev.Taken {
+					break // taken-branch fetch break (redirect next cycle)
+				}
+				if item.ev.Instr.Op == isa.J {
+					break
+				}
+			}
+		} else if !traceDone && (fetchStalledOn >= 0 || cycle < fetchResumeAt) {
+			s.FetchStallCycles++
+		}
+
+		// ---- End-of-cycle statistics. ----
+		for q := Queue(0); q < numQueues; q++ {
+			s.QueueOccupancy[q] += int64(queueUsed[q])
+			if queueUsed[q] >= queueCap[q] {
+				s.QueueFullCycles[q]++
+			}
+		}
+
+		cycle++
+		if traceDone && rob.len() == 0 && len(fetchBuf) == 0 {
+			break
+		}
+		if cycle-lastCommit > p.cfg.Watchdog {
+			return *s, fmt.Errorf("pipeline: no commit for %d cycles (simulator deadlock at cycle %d, rob=%d fetchBuf=%d)",
+				p.cfg.Watchdog, cycle, rob.len(), len(fetchBuf))
+		}
+	}
+
+	s.Cycles = cycle
+	s.Predictor = p.pred.Stats()
+	return *s, nil
+}
+
+// decodeFetch classifies a fetched event against the predictor and
+// assigns its sequence number. It sets *stalledOn when fetch must wait
+// for this instruction to resolve.
+func (p *Pipeline) decodeFetch(ev interp.Event, seq *int64, stalledOn *int64) fetchItem {
+	item := fetchItem{ev: ev, seq: *seq}
+	*seq++
+	op := ev.Instr.Op
+	cls := predict.Classify(op)
+	if cls == predict.ClassNone {
+		return item
+	}
+	out := p.pred.Predict(ev.Addr, op, ev.Taken)
+	switch {
+	case out.Stall:
+		item.indirect = true
+		p.stats.IndirectOps++
+		*stalledOn = item.seq
+	case op.IsCondBranch() && out.PredictTaken != ev.Taken:
+		item.mispredicted = true
+		p.stats.Mispredicts++
+		if p.cfg.TrackBranchSites && ev.BranchSite != "" {
+			if p.stats.SiteMispredicts == nil {
+				p.stats.SiteMispredicts = make(map[string]int64)
+			}
+			p.stats.SiteMispredicts[ev.BranchSite]++
+		}
+		*stalledOn = item.seq
+	}
+	return item
+}
+
+// destRename reports whether the instruction's destination consumes a
+// rename register, and whether it is a floating-point one. Predicate
+// destinations are compiler-synthesized condition codes and consume no
+// rename register.
+func destRename(in *isa.Instr) (needs, fp bool) {
+	for _, d := range in.Defs() {
+		switch {
+		case d.IsInt():
+			return true, false
+		case d.IsFP():
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// Stats returns the statistics of the last Run.
+func (p *Pipeline) Stats() Stats { return p.stats }

@@ -1,0 +1,50 @@
+package pipeline
+
+// ring is a fixed-capacity FIFO of ROB entries (the active list is
+// bounded by the machine's ActiveList depth, so a circular buffer
+// avoids per-instruction slice churn on multi-million-instruction runs).
+type ring struct {
+	buf   []*entry
+	head  int
+	count int
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]*entry, capacity)} }
+
+func (r *ring) len() int { return r.count }
+
+func (r *ring) full() bool { return r.count == len(r.buf) }
+
+func (r *ring) push(e *entry) {
+	if r.full() {
+		panic("pipeline: ROB overflow")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = e
+	r.count++
+}
+
+func (r *ring) front() *entry {
+	if r.count == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) popFront() *entry {
+	e := r.front()
+	if e == nil {
+		panic("pipeline: pop from empty ROB")
+	}
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return e
+}
+
+// each visits entries oldest-first; the visitor must not mutate the
+// ring's membership.
+func (r *ring) each(f func(*entry)) {
+	for i := 0; i < r.count; i++ {
+		f(r.buf[(r.head+i)%len(r.buf)])
+	}
+}

@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/predict"
+)
+
+func BenchmarkPipe(b *testing.B) {
+	src := `
+func main:
+entry:
+	li r1, 0
+	li r5, 9000
+loop:
+	lw r3, 0(r5)
+	add r3, r3, 1
+	sw r3, 0(r5)
+	and r2, r1, 7
+	beq r2, 0, sp
+pl:
+	add r4, r4, 1
+	j next
+sp:
+	add r6, r6, 1
+next:
+	add r1, r1, 1
+	blt r1, 50000, loop
+exit:
+	halt
+`
+	for i := 0; i < b.N; i++ {
+		p := asm.MustParse(src)
+		m, _ := interp.New(p, nil, interp.Options{})
+		pipe, _ := New(Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
+		if _, err := pipe.Run(NewInterpSource(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

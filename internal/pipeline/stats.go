@@ -1,0 +1,142 @@
+// Package pipeline is the trace-driven timing model of the paper's
+// machine: a MIPS R10000-like 4-wide out-of-order superscalar with
+// 16-entry integer/address/FP queues, a 4-entry branch stack, hardware
+// renaming over 64 physical registers, a 512-entry 2-bit branch
+// predictor (pluggable: perfect prediction is scheme 3), split 32 KB
+// I/D caches, and the Table 2 latencies.
+//
+// The model replays the committed dynamic instruction stream produced
+// by internal/interp. Wrong-path execution is modelled as fetch-bubble
+// and recovery cycles rather than by fetching wrong-path instructions;
+// this preserves the statistics the paper reports (queue-full
+// percentages, functional-unit usage, IPC excluding annulled
+// operations) while keeping the simulator deterministic and testable.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"specguard/internal/isa"
+	"specguard/internal/predict"
+)
+
+// Queue identifies one of the four dispatch queues.
+type Queue int
+
+const (
+	QInt    Queue = iota // integer queue: ALU and shifter operations
+	QAddr                // address queue: loads and stores
+	QFP                  // floating-point queue
+	QBranch              // branch stack: all control transfers
+
+	numQueues
+)
+
+// String names the queue as in Table 3's column heads.
+func (q Queue) String() string {
+	switch q {
+	case QInt:
+		return "ALU"
+	case QAddr:
+		return "LDST"
+	case QFP:
+		return "FP"
+	}
+	return "BR"
+}
+
+// queueOf maps a unit class to its dispatch queue.
+func queueOf(u isa.UnitClass) Queue {
+	switch u {
+	case isa.UnitALU, isa.UnitShift:
+		return QInt
+	case isa.UnitLdSt:
+		return QAddr
+	case isa.UnitFPAdd, isa.UnitFPMul, isa.UnitFPDiv:
+		return QFP
+	}
+	return QBranch
+}
+
+// Stats aggregates one simulation run. All "% of cycles" figures are
+// ratios to the final commit cycle, matching the footnotes of
+// Tables 3–4.
+type Stats struct {
+	Cycles    int64
+	Committed int64 // all committed instructions, annulled included
+	Annulled  int64 // squashed guarded operations
+
+	CondBranches int64 // conditional branches committed
+	Mispredicts  int64 // conditional branches fetched with a wrong prediction
+	IndirectOps  int64 // call/ret/switch occurrences (fetch stalls under 2-bit)
+
+	FetchStallCycles int64 // cycles fetch sat idle waiting on a resolution
+
+	QueueFullCycles [numQueues]int64
+	QueueOccupancy  [numQueues]int64 // summed per cycle, for mean occupancy
+
+	UnitBusy [isa.NumUnitClasses]int64 // issue events per unit class
+	UnitFull [isa.NumUnitClasses]int64 // cycles every unit of the class issued
+
+	ICacheMisses int64
+	DCacheMisses int64
+
+	// SiteMispredicts breaks Mispredicts down by branch site when
+	// Config.TrackBranchSites is set (nil otherwise).
+	SiteMispredicts map[string]int64
+
+	Predictor predict.Stats
+}
+
+// IPC returns committed instructions per cycle excluding annulled
+// operations (Table 4 footnote 7).
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed-s.Annulled) / float64(s.Cycles)
+}
+
+// QueueFullPct returns the percentage of cycles queue q was full.
+func (s Stats) QueueFullPct(q Queue) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(s.QueueFullCycles[q]) / float64(s.Cycles)
+}
+
+// MeanQueueOccupancy returns the average number of occupied entries.
+func (s Stats) MeanQueueOccupancy(q Queue) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.QueueOccupancy[q]) / float64(s.Cycles)
+}
+
+// UnitFullPct returns the percentage of cycles in which every unit of
+// class u issued an operation (Table 4 footnotes 4–6).
+func (s Stats) UnitFullPct(u isa.UnitClass) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(s.UnitFull[u]) / float64(s.Cycles)
+}
+
+// PredAccuracy returns conditional-branch prediction accuracy.
+func (s Stats) PredAccuracy() float64 { return s.Predictor.Accuracy() }
+
+// String renders a one-run summary for the CLI tools.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d committed=%d annulled=%d IPC=%.3f\n",
+		s.Cycles, s.Committed, s.Annulled, s.IPC())
+	fmt.Fprintf(&b, "branches=%d mispredicted=%d accuracy=%.2f%% indirect=%d fetch-stall=%d\n",
+		s.CondBranches, s.Mispredicts, 100*s.PredAccuracy(), s.IndirectOps, s.FetchStallCycles)
+	fmt.Fprintf(&b, "queue-full%%: BR=%.2f LDST=%.2f ALU=%.2f FP=%.2f\n",
+		s.QueueFullPct(QBranch), s.QueueFullPct(QAddr), s.QueueFullPct(QInt), s.QueueFullPct(QFP))
+	fmt.Fprintf(&b, "unit-full%%: ALU=%.2f LDST=%.2f SFT=%.2f\n",
+		s.UnitFullPct(isa.UnitALU), s.UnitFullPct(isa.UnitLdSt), s.UnitFullPct(isa.UnitShift))
+	fmt.Fprintf(&b, "icache-miss=%d dcache-miss=%d\n", s.ICacheMisses, s.DCacheMisses)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package predict
+
+import "specguard/internal/isa"
+
+// GShare is a global-history correlating predictor — the extension the
+// paper's §5 points at: "the algorithm can be extended to handle more
+// complex correlations and will be the focus of future study". Where a
+// per-branch 2-bit counter cannot learn cyclic patterns (TTF…) or
+// cross-branch correlation, gshare's history-indexed counters can, so
+// it bounds how much of the split-branch/guarding benefit a smarter
+// *hardware* scheme would have captured without compiler help (the
+// `BenchmarkAblationPredictor` study).
+//
+// Classification semantics match TwoBit: likely branches are statically
+// taken and train nothing, absolute jumps are free, indirect transfers
+// stall fetch.
+type GShare struct {
+	entries     int
+	historyBits uint
+	table       []uint8
+	history     uint64
+	stats       Stats
+}
+
+// NewGShare returns a gshare predictor with a table of entries 2-bit
+// counters (power of two) indexed by pc/4 XOR the last historyBits
+// branch outcomes.
+func NewGShare(entries int, historyBits uint) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: gshare table size must be a positive power of two")
+	}
+	if historyBits > 24 {
+		panic("predict: history too long")
+	}
+	g := &GShare{entries: entries, historyBits: historyBits}
+	g.Reset()
+	return g
+}
+
+func (g *GShare) index(pc uint64) int {
+	mask := uint64(g.entries - 1)
+	h := g.history & ((1 << g.historyBits) - 1)
+	return int(((pc / 4) ^ h) & mask)
+}
+
+// Predict implements Predictor. Unlike TwoBit, gshare both looks up
+// and trains here, at fetch time: a global-history predictor's context
+// must be maintained in fetch order (real hardware shifts the history
+// speculatively at fetch and repairs it on mispredicts; our trace is
+// the committed path, so fetch-order training is exact). Training at
+// out-of-order completion — the Update hook — would interleave
+// contexts and destroy the correlation signal.
+func (g *GShare) Predict(pc uint64, op isa.Op, actualTaken bool) Outcome {
+	switch Classify(op) {
+	case ClassLikely:
+		g.stats.Lookups++
+		if actualTaken {
+			g.stats.Correct++
+		}
+		// Likely branches own no counter, but their outcome is real
+		// context for later branches.
+		g.history = g.history<<1 | b2u(actualTaken)
+		return Outcome{PredictTaken: true}
+	case ClassCond:
+		g.stats.Lookups++
+		i := g.index(pc)
+		pred := g.table[i] >= 2
+		if pred == actualTaken {
+			g.stats.Correct++
+		}
+		if actualTaken {
+			if g.table[i] < 3 {
+				g.table[i]++
+			}
+		} else if g.table[i] > 0 {
+			g.table[i]--
+		}
+		g.history = g.history<<1 | b2u(actualTaken)
+		return Outcome{PredictTaken: pred}
+	case ClassJump:
+		return Outcome{PredictTaken: true}
+	case ClassIndirect:
+		return Outcome{PredictTaken: true, Stall: true}
+	}
+	return Outcome{}
+}
+
+// Update implements Predictor. A no-op: gshare trains at fetch (see
+// Predict).
+func (g *GShare) Update(pc uint64, op isa.Op, taken bool) {}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats implements Predictor.
+func (g *GShare) Stats() Stats { return g.stats }
+
+// Reset implements Predictor.
+func (g *GShare) Reset() {
+	g.table = make([]uint8, g.entries)
+	for i := range g.table {
+		g.table[i] = twoBitInit
+	}
+	g.history = 0
+	g.stats = Stats{}
+}

@@ -1,0 +1,133 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"specguard/internal/isa"
+)
+
+func TestGShareLearnsCyclicPattern(t *testing.T) {
+	// TTF repeating: a 2-bit counter caps out near 2/3 accuracy, but
+	// gshare's history-indexed counters learn the cycle exactly.
+	pattern := []bool{true, true, false}
+	run := func(p Predictor) float64 {
+		for i := 0; i < 3000; i++ {
+			taken := pattern[i%3]
+			p.Predict(64, isa.Beq, taken)
+			p.Update(64, isa.Beq, taken)
+		}
+		return p.Stats().Accuracy()
+	}
+	twoBit := run(NewTwoBit(512))
+	gshare := run(NewGShare(512, 8))
+	if twoBit > 0.75 {
+		t.Errorf("2-bit accuracy on TTF = %.3f, expected ≤ 2/3-ish", twoBit)
+	}
+	if gshare < 0.98 {
+		t.Errorf("gshare accuracy on TTF = %.3f, want ≈1", gshare)
+	}
+}
+
+func TestGShareLearnsCrossBranchCorrelation(t *testing.T) {
+	// Branch B's outcome equals branch A's: with global history, B is
+	// perfectly predictable after warmup.
+	g := NewGShare(1024, 8)
+	rng := rand.New(rand.NewSource(9))
+	var bLookups, bCorrect int64
+	for i := 0; i < 5000; i++ {
+		a := rng.Intn(2) == 0
+		g.Predict(0, isa.Beq, a)
+		g.Update(0, isa.Beq, a)
+		before := g.Stats()
+		g.Predict(64, isa.Beq, a) // correlated branch
+		after := g.Stats()
+		g.Update(64, isa.Beq, a)
+		bLookups += after.Lookups - before.Lookups
+		bCorrect += after.Correct - before.Correct
+	}
+	acc := float64(bCorrect) / float64(bLookups)
+	if acc < 0.90 {
+		t.Errorf("correlated-branch accuracy = %.3f, want ≥0.90", acc)
+	}
+}
+
+func TestGShareBiasedBranch(t *testing.T) {
+	g := NewGShare(512, 6)
+	for i := 0; i < 1000; i++ {
+		g.Predict(16, isa.Beq, true)
+		g.Update(16, isa.Beq, true)
+	}
+	if g.Stats().Accuracy() < 0.99 {
+		t.Errorf("biased accuracy = %.3f", g.Stats().Accuracy())
+	}
+}
+
+func TestGShareClassSemanticsMatchTwoBit(t *testing.T) {
+	g := NewGShare(64, 4)
+	if !g.Predict(0, isa.Beql, false).PredictTaken {
+		t.Error("likely must be predicted taken")
+	}
+	for _, op := range []isa.Op{isa.Call, isa.Ret, isa.Switch} {
+		if !g.Predict(0, op, true).Stall {
+			t.Errorf("%v must stall", op)
+		}
+	}
+	if g.Predict(0, isa.J, true).Stall {
+		t.Error("absolute jump must not stall")
+	}
+	if g.Predict(0, isa.Add, true) != (Outcome{}) {
+		t.Error("non-control op must be a no-op")
+	}
+}
+
+func TestGShareLikelyShiftsHistoryButNoCounter(t *testing.T) {
+	g := NewGShare(64, 4)
+	h0 := g.history
+	g.Predict(0, isa.Beql, true)
+	if g.history == h0 {
+		t.Error("likely outcome must enter the global history")
+	}
+	// No counter index was trained for the likely branch: the table is
+	// still all at init.
+	for i, v := range g.table {
+		if v != twoBitInit {
+			t.Errorf("table[%d] trained by a likely branch", i)
+		}
+	}
+	// Jumps are unconditional: they must not shift history; and Update
+	// is a no-op by design (training happens at fetch).
+	h1 := g.history
+	g.Predict(0, isa.J, true)
+	g.Update(64, isa.Beq, true)
+	if g.history != h1 {
+		t.Error("jump/Update must not shift the history register")
+	}
+}
+
+func TestGShareReset(t *testing.T) {
+	g := NewGShare(64, 4)
+	g.Predict(4, isa.Beq, true)
+	g.Update(4, isa.Beq, false)
+	g.Reset()
+	if g.Stats().Lookups != 0 || g.history != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestGShareConstructorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGShare(0, 4) },
+		func() { NewGShare(100, 4) }, // not a power of two
+		func() { NewGShare(64, 30) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,215 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+
+	"specguard/internal/isa"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[isa.Op]Class{
+		isa.Beq:    ClassCond,
+		isa.Bne:    ClassCond,
+		isa.Bp:     ClassCond,
+		isa.Beql:   ClassLikely,
+		isa.Bpl:    ClassLikely,
+		isa.J:      ClassJump,
+		isa.Call:   ClassIndirect,
+		isa.Ret:    ClassIndirect,
+		isa.Switch: ClassIndirect,
+		isa.Add:    ClassNone,
+		isa.Halt:   ClassNone,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestTwoBitCounterFSM(t *testing.T) {
+	p := NewTwoBit(512)
+	pc := uint64(64)
+	// Initial state is weakly taken.
+	if !p.Predict(pc, isa.Beq, true).PredictTaken {
+		t.Fatal("initial prediction should be taken")
+	}
+	// Two not-taken outcomes drive it to strongly not-taken.
+	p.Update(pc, isa.Beq, false)
+	if p.Predict(pc, isa.Beq, false).PredictTaken {
+		t.Fatal("after one not-taken: weakly not-taken, predict not-taken")
+	}
+	p.Update(pc, isa.Beq, false)
+	p.Update(pc, isa.Beq, false) // saturate at 0
+	if p.Predict(pc, isa.Beq, false).PredictTaken {
+		t.Fatal("saturated not-taken must predict not-taken")
+	}
+	// One taken flips to weakly not-taken: still predicts not-taken.
+	p.Update(pc, isa.Beq, true)
+	if p.Predict(pc, isa.Beq, true).PredictTaken {
+		t.Fatal("hysteresis: single taken must not flip a strong state")
+	}
+	// Second taken reaches weakly taken.
+	p.Update(pc, isa.Beq, true)
+	if !p.Predict(pc, isa.Beq, true).PredictTaken {
+		t.Fatal("two takens should flip the prediction")
+	}
+	// Saturation at 3.
+	p.Update(pc, isa.Beq, true)
+	p.Update(pc, isa.Beq, true)
+	p.Update(pc, isa.Beq, true)
+	if !p.Predict(pc, isa.Beq, true).PredictTaken {
+		t.Fatal("saturated taken must predict taken")
+	}
+}
+
+func TestTwoBitLoopBranchAccuracy(t *testing.T) {
+	// A loop branch taken 99 times then not taken once should be
+	// mispredicted at most twice per pass (classic 2-bit behaviour).
+	p := NewTwoBit(512)
+	pc := uint64(128)
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 99; i++ {
+			p.Predict(pc, isa.Beq, true)
+			p.Update(pc, isa.Beq, true)
+		}
+		p.Predict(pc, isa.Beq, false)
+		p.Update(pc, isa.Beq, false)
+	}
+	acc := p.Stats().Accuracy()
+	if acc < 0.97 {
+		t.Errorf("loop-branch accuracy = %v, want ≥ 0.97", acc)
+	}
+}
+
+func TestTwoBitAliasing(t *testing.T) {
+	// Two branches whose pcs collide in a tiny table interfere; the
+	// same branches in a large table do not. This is the effect that
+	// makes if-conversion help dynamic prediction.
+	train := func(entries int, pcB uint64) float64 {
+		p := NewTwoBit(entries)
+		pcA := uint64(0)
+		for i := 0; i < 1000; i++ {
+			p.Predict(pcA, isa.Beq, true)
+			p.Update(pcA, isa.Beq, true)
+			p.Predict(pcB, isa.Beq, false)
+			p.Update(pcB, isa.Beq, false)
+		}
+		return p.Stats().Accuracy()
+	}
+	small := train(4, 4*4)   // index 4 mod 4 = 0: aliases pcA
+	large := train(512, 4*4) // index 4: distinct entry
+	if small >= 0.9 {
+		t.Errorf("aliased accuracy = %v, expected interference", small)
+	}
+	if large < 0.99 {
+		t.Errorf("non-aliased accuracy = %v, want ≈1", large)
+	}
+}
+
+func TestLikelyBranchSemantics(t *testing.T) {
+	p := NewTwoBit(512)
+	pc := uint64(256)
+	// Likely branches are always predicted taken and never trained.
+	out := p.Predict(pc, isa.Beql, false)
+	if !out.PredictTaken || out.Stall {
+		t.Fatalf("likely outcome = %+v", out)
+	}
+	p.Update(pc, isa.Beql, false)
+	p.Update(pc, isa.Beql, false)
+	out = p.Predict(pc, isa.Beql, false)
+	if !out.PredictTaken {
+		t.Fatal("likely branch must stay predicted taken after not-taken outcomes")
+	}
+	// And the table entry at that index is untouched (still init).
+	if got := p.table[p.index(pc)]; got != twoBitInit {
+		t.Errorf("likely branch trained the table: %d", got)
+	}
+}
+
+func TestIndirectStalls(t *testing.T) {
+	p := NewTwoBit(512)
+	for _, op := range []isa.Op{isa.Call, isa.Ret, isa.Switch} {
+		out := p.Predict(0, op, true)
+		if !out.Stall {
+			t.Errorf("%v must stall under 2-bit scheme", op)
+		}
+	}
+	if p.Predict(0, isa.J, true).Stall {
+		t.Error("absolute jump must not stall")
+	}
+	// Indirects and jumps are not conditional lookups.
+	if p.Stats().Lookups != 0 {
+		t.Error("jump/indirect must not count as predictor lookups")
+	}
+}
+
+func TestPerfectPredictor(t *testing.T) {
+	p := NewPerfect()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		taken := rng.Intn(2) == 0
+		out := p.Predict(uint64(i*4), isa.Beq, taken)
+		if out.PredictTaken != taken || out.Stall {
+			t.Fatalf("perfect predictor wrong at %d", i)
+		}
+	}
+	for _, op := range []isa.Op{isa.Call, isa.Ret, isa.Switch, isa.J} {
+		if p.Predict(0, op, true).Stall {
+			t.Errorf("perfect scheme must not stall on %v", op)
+		}
+	}
+	if acc := p.Stats().Accuracy(); acc != 1.0 {
+		t.Errorf("perfect accuracy = %v", acc)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := NewTwoBit(16)
+	p.Predict(4, isa.Beq, true)
+	p.Update(4, isa.Beq, false)
+	p.Update(4, isa.Beq, false)
+	p.Reset()
+	if p.Stats().Lookups != 0 {
+		t.Error("stats not reset")
+	}
+	if !p.Predict(4, isa.Beq, true).PredictTaken {
+		t.Error("table not reset to weakly taken")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if (Stats{}).Accuracy() != 1 {
+		t.Error("empty accuracy must read 1.0")
+	}
+}
+
+func TestNewTwoBitPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTwoBit(0)
+}
+
+// Property: prediction accuracy on a fully biased branch approaches 1
+// regardless of table size, and Stats are consistent.
+func TestQuickBiasedBranch(t *testing.T) {
+	for _, entries := range []int{1, 8, 512} {
+		p := NewTwoBit(entries)
+		n := 500
+		for i := 0; i < n; i++ {
+			p.Predict(16, isa.Beq, true)
+			p.Update(16, isa.Beq, true)
+		}
+		s := p.Stats()
+		if s.Lookups != int64(n) {
+			t.Errorf("entries=%d: lookups = %d", entries, s.Lookups)
+		}
+		if s.Accuracy() < 0.99 {
+			t.Errorf("entries=%d: accuracy = %v", entries, s.Accuracy())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package profile implements the paper's feedback metrics (§4–5): each
+// conditional branch's dynamic outcome history is recorded as a bit
+// vector, then classified — taken frequency, toggle factor, monotonic
+// vs. non-monotonic behaviour, segmentation of the iteration space into
+// phases with near-uniform behaviour, and detection of "algebraic"
+// (counter-expressible) patterns that make a branch instrumentable for
+// the split-branch transformation.
+package profile
+
+// BitVector is an append-only sequence of branch outcomes
+// (true = taken), stored packed.
+type BitVector struct {
+	words []uint64
+	n     int
+}
+
+// Append records one outcome.
+func (v *BitVector) Append(taken bool) {
+	word := v.n >> 6
+	if word == len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	if taken {
+		v.words[word] |= 1 << uint(v.n&63)
+	}
+	v.n++
+}
+
+// Get returns outcome i.
+func (v *BitVector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic("profile: BitVector index out of range")
+	}
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Len returns the number of recorded outcomes.
+func (v *BitVector) Len() int { return v.n }
+
+// CountRange returns how many outcomes in [from, to) are taken.
+func (v *BitVector) CountRange(from, to int) int {
+	c := 0
+	for i := from; i < to; i++ {
+		if v.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Count returns the total number of taken outcomes.
+func (v *BitVector) Count() int { return v.CountRange(0, v.n) }
+
+// Toggles returns the number of adjacent outcome flips
+// (TTTFFFTTFF has 3: T→F, F→T, T→F).
+func (v *BitVector) Toggles() int {
+	t := 0
+	for i := 1; i < v.n; i++ {
+		if v.Get(i) != v.Get(i-1) {
+			t++
+		}
+	}
+	return t
+}
+
+// String renders the vector as a T/F string, for tests and debugging.
+func (v *BitVector) String() string {
+	b := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b[i] = 'T'
+		} else {
+			b[i] = 'F'
+		}
+	}
+	return string(b)
+}
+
+// FromString builds a BitVector from a T/F string (any byte other than
+// 'T' or 't' counts as not-taken); a test convenience.
+func FromString(s string) *BitVector {
+	v := &BitVector{}
+	for i := 0; i < len(s); i++ {
+		v.Append(s[i] == 'T' || s[i] == 't')
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"sort"
+
+	"specguard/internal/interp"
+	"specguard/internal/prog"
+)
+
+// BranchProfile is the recorded feedback for one static branch site.
+type BranchProfile struct {
+	Site     string // prog.BranchSiteID ("func.block")
+	Outcomes *BitVector
+}
+
+// Count returns the branch's dynamic execution count.
+func (bp *BranchProfile) Count() int64 { return int64(bp.Outcomes.Len()) }
+
+// TakenFreq returns the fraction of executions that were taken
+// (0 for a never-executed branch).
+func (bp *BranchProfile) TakenFreq() float64 {
+	n := bp.Outcomes.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(bp.Outcomes.Count()) / float64(n)
+}
+
+// Bias returns max(freq, 1-freq): how predictable the branch looks to a
+// one-time metric.
+func (bp *BranchProfile) Bias() float64 {
+	f := bp.TakenFreq()
+	if f < 0.5 {
+		return 1 - f
+	}
+	return f
+}
+
+// ToggleFactor returns the fraction of adjacent executions whose
+// outcomes differ. 0 = perfectly monotonic (TTTT… or FFFF…),
+// 1 = alternates every time (TFTFTF…). The paper classifies a branch as
+// monotonic when this is below a threshold.
+func (bp *BranchProfile) ToggleFactor() float64 {
+	n := bp.Outcomes.Len()
+	if n < 2 {
+		return 0
+	}
+	return float64(bp.Outcomes.Toggles()) / float64(n-1)
+}
+
+// Monotonic reports whether the branch's toggle factor is at or below
+// threshold (paper Fig. 6: "monotonic(bj)").
+func (bp *BranchProfile) Monotonic(threshold float64) bool {
+	return bp.ToggleFactor() <= threshold
+}
+
+// Profile is the complete feedback gathered from one instrumented run.
+type Profile struct {
+	sites     map[string]*BranchProfile
+	DynInstrs int64
+	Annulled  int64
+}
+
+// NewProfile returns an empty profile; useful for building synthetic
+// feedback in tests.
+func NewProfile() *Profile {
+	return &Profile{sites: make(map[string]*BranchProfile)}
+}
+
+// Record appends one outcome for site.
+func (p *Profile) Record(site string, taken bool) {
+	bp := p.sites[site]
+	if bp == nil {
+		bp = &BranchProfile{Site: site, Outcomes: &BitVector{}}
+		p.sites[site] = bp
+	}
+	bp.Outcomes.Append(taken)
+}
+
+// Site returns the profile for one branch site, or nil if it never
+// executed.
+func (p *Profile) Site(id string) *BranchProfile { return p.sites[id] }
+
+// Sites returns all profiled branch sites sorted by id, for
+// deterministic iteration.
+func (p *Profile) Sites() []*BranchProfile {
+	ids := make([]string, 0, len(p.sites))
+	for id := range p.sites {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*BranchProfile, len(ids))
+	for i, id := range ids {
+		out[i] = p.sites[id]
+	}
+	return out
+}
+
+// TotalBranches returns the dynamic conditional-branch count.
+func (p *Profile) TotalBranches() int64 {
+	var n int64
+	for _, bp := range p.sites {
+		n += bp.Count()
+	}
+	return n
+}
+
+// BranchRatio returns dynamic branches / dynamic instructions —
+// the "% Branch Instructions" column of Table 1.
+func (p *Profile) BranchRatio() float64 {
+	if p.DynInstrs == 0 {
+		return 0
+	}
+	return float64(p.TotalBranches()) / float64(p.DynInstrs)
+}
+
+// Collect runs the program to completion under the interpreter,
+// recording every conditional branch outcome. init, if non-nil, runs
+// before execution to set up the memory image and registers (the
+// workload's input). Collect is the paper's instrumented profiling run.
+func Collect(pr *prog.Program, opts interp.Options, init func(*interp.Interp) error) (*Profile, interp.Result, error) {
+	m, err := interp.New(pr, nil, opts)
+	if err != nil {
+		return nil, interp.Result{}, err
+	}
+	if init != nil {
+		if err := init(m); err != nil {
+			return nil, interp.Result{}, err
+		}
+	}
+	p := NewProfile()
+	res, err := m.Run(func(ev interp.Event) {
+		if ev.Branch {
+			p.Record(ev.BranchSite, ev.Taken)
+		}
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	p.DynInstrs = res.DynInstrs
+	p.Annulled = res.Annulled
+	return p, res, nil
+}

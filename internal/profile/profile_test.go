@@ -1,0 +1,383 @@
+package profile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := &BitVector{}
+	if v.Len() != 0 || v.Count() != 0 || v.Toggles() != 0 {
+		t.Fatal("empty vector stats wrong")
+	}
+	pattern := "TTTFFFTTFF"
+	for _, c := range pattern {
+		v.Append(c == 'T')
+	}
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Count() != 5 {
+		t.Fatalf("Count = %d", v.Count())
+	}
+	if v.Toggles() != 3 {
+		t.Fatalf("Toggles = %d, want 3 (paper's TTTFFFTTFF example)", v.Toggles())
+	}
+	if v.String() != pattern {
+		t.Fatalf("String = %q", v.String())
+	}
+	if v.CountRange(0, 3) != 3 || v.CountRange(3, 6) != 0 || v.CountRange(6, 10) != 2 {
+		t.Fatal("CountRange wrong")
+	}
+}
+
+func TestBitVectorCrossesWordBoundary(t *testing.T) {
+	v := &BitVector{}
+	for i := 0; i < 200; i++ {
+		v.Append(i%3 == 0)
+	}
+	for i := 0; i < 200; i++ {
+		if v.Get(i) != (i%3 == 0) {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestBitVectorPanicsOutOfRange(t *testing.T) {
+	v := FromString("TF")
+	for _, i := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) should panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+// Property: Count + toggles consistent with a reference []bool model.
+func TestQuickBitVectorModel(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := &BitVector{}
+		for _, b := range bits {
+			v.Append(b)
+		}
+		count, toggles := 0, 0
+		for i, b := range bits {
+			if b {
+				count++
+			}
+			if i > 0 && bits[i] != bits[i-1] {
+				toggles++
+			}
+			if v.Get(i) != b {
+				return false
+			}
+		}
+		return v.Len() == len(bits) && v.Count() == count && v.Toggles() == toggles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchProfileMetrics(t *testing.T) {
+	bp := &BranchProfile{Site: "main.loop", Outcomes: FromString("TTTTTFFFFF")}
+	if got := bp.TakenFreq(); got != 0.5 {
+		t.Errorf("TakenFreq = %v", got)
+	}
+	if got := bp.Bias(); got != 0.5 {
+		t.Errorf("Bias = %v", got)
+	}
+	if got := bp.ToggleFactor(); got != 1.0/9.0 {
+		t.Errorf("ToggleFactor = %v", got)
+	}
+	if !bp.Monotonic(0.2) || bp.Monotonic(0.05) {
+		t.Error("Monotonic threshold behaviour wrong")
+	}
+
+	alternating := &BranchProfile{Outcomes: FromString("TFTFTFTFTF")}
+	if got := alternating.ToggleFactor(); got != 1.0 {
+		t.Errorf("alternating ToggleFactor = %v", got)
+	}
+	biased := &BranchProfile{Outcomes: FromString("TTTTTTTTTF")}
+	if got := biased.Bias(); got != 0.9 {
+		t.Errorf("Bias = %v", got)
+	}
+	notTaken := &BranchProfile{Outcomes: FromString("FFFFFFFFFT")}
+	if got := notTaken.Bias(); got != 0.9 {
+		t.Errorf("not-taken Bias = %v", got)
+	}
+	empty := &BranchProfile{Outcomes: &BitVector{}}
+	if empty.TakenFreq() != 0 || empty.ToggleFactor() != 0 {
+		t.Error("empty profile metrics should be 0")
+	}
+}
+
+// phaseTrace builds the paper's Fig. 3 iteration-space shape: the first
+// 40% strongly taken, the middle 20% alternating, the last 40% strongly
+// not-taken. Overall frequency is ~50% — indistinguishable from noise
+// under a one-time metric.
+func phaseTrace(n int) *BitVector {
+	v := &BitVector{}
+	a, b := int(0.4*float64(n)), int(0.6*float64(n))
+	for i := 0; i < n; i++ {
+		switch {
+		case i < a:
+			v.Append(i%20 != 19) // 95% taken
+		case i < b:
+			v.Append(i%2 == 0) // toggling
+		default:
+			v.Append(i%20 == 19) // 5% taken
+		}
+	}
+	return v
+}
+
+func TestSegmentsPaperPhases(t *testing.T) {
+	bp := &BranchProfile{Site: "x", Outcomes: phaseTrace(1000)}
+	if bp.Monotonic(0.15) {
+		t.Fatal("phase trace must not look monotonic")
+	}
+	segs := bp.Segments(SegmentOptions{})
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3: %+v", len(segs), segs)
+	}
+	if segs[0].Class != SegTaken || segs[1].Class != SegMixed || segs[2].Class != SegNotTaken {
+		t.Fatalf("classes = %v %v %v", segs[0].Class, segs[1].Class, segs[2].Class)
+	}
+	// Boundaries near 40% and 60%.
+	if segs[0].End < 350 || segs[0].End > 450 {
+		t.Errorf("first boundary at %d, want ≈400", segs[0].End)
+	}
+	if segs[1].End < 550 || segs[1].End > 650 {
+		t.Errorf("second boundary at %d, want ≈600", segs[1].End)
+	}
+	// Coverage is exact and contiguous.
+	if segs[0].Start != 0 || segs[2].End != 1000 {
+		t.Error("segments must cover the whole trace")
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Error("segments must be contiguous")
+		}
+	}
+	if segs[0].TakenFreq < 0.9 || segs[2].TakenFreq > 0.1 {
+		t.Errorf("segment freqs = %v, %v", segs[0].TakenFreq, segs[2].TakenFreq)
+	}
+}
+
+func TestSegmentsMonotonicTraceIsOneSegment(t *testing.T) {
+	bp := &BranchProfile{Outcomes: FromString(strings.Repeat("T", 500))}
+	segs := bp.Segments(SegmentOptions{})
+	if len(segs) != 1 || segs[0].Class != SegTaken {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestSegmentsAbsorbRunts(t *testing.T) {
+	// 500 taken, 10 not-taken blip, 490 taken → one segment after
+	// runt absorption.
+	v := &BitVector{}
+	for i := 0; i < 1000; i++ {
+		v.Append(!(i >= 500 && i < 510))
+	}
+	bp := &BranchProfile{Outcomes: v}
+	segs := bp.Segments(SegmentOptions{Window: 10})
+	if len(segs) != 1 {
+		t.Fatalf("segments = %+v, want 1 after runt absorption", segs)
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	bp := &BranchProfile{Outcomes: FromString(strings.Repeat("TTFF", 100))}
+	per, ok := bp.DetectPeriod(SegmentOptions{})
+	if !ok {
+		t.Fatal("TTFF should be periodic")
+	}
+	if per.Period != 4 {
+		t.Fatalf("period = %d, want 4", per.Period)
+	}
+	wantPat := []bool{true, true, false, false}
+	for i, w := range wantPat {
+		if per.Pattern[i] != w {
+			t.Fatalf("pattern = %v", per.Pattern)
+		}
+	}
+	if per.MatchRate != 1.0 {
+		t.Errorf("match rate = %v", per.MatchRate)
+	}
+}
+
+func TestDetectPeriodFindsSmallest(t *testing.T) {
+	// TF has period 2; must not report 4 or 6.
+	bp := &BranchProfile{Outcomes: FromString(strings.Repeat("TF", 100))}
+	per, ok := bp.DetectPeriod(SegmentOptions{})
+	if !ok || per.Period != 2 {
+		t.Fatalf("period = %v ok=%v, want 2", per, ok)
+	}
+}
+
+func TestDetectPeriodRejectsConstantAndRandom(t *testing.T) {
+	mono := &BranchProfile{Outcomes: FromString(strings.Repeat("T", 100))}
+	if _, ok := mono.DetectPeriod(SegmentOptions{}); ok {
+		t.Error("constant trace must not be periodic")
+	}
+	rng := rand.New(rand.NewSource(42))
+	v := &BitVector{}
+	for i := 0; i < 2000; i++ {
+		v.Append(rng.Intn(2) == 0)
+	}
+	random := &BranchProfile{Outcomes: v}
+	if per, ok := random.DetectPeriod(SegmentOptions{}); ok {
+		t.Errorf("random trace reported periodic: %+v", per)
+	}
+	short := &BranchProfile{Outcomes: FromString("TF")}
+	if _, ok := short.DetectPeriod(SegmentOptions{}); ok {
+		t.Error("too-short trace must not be periodic")
+	}
+}
+
+func TestInstrumentable(t *testing.T) {
+	phases := &BranchProfile{Outcomes: phaseTrace(1000)}
+	inst, ok := phases.Instrumentable(SegmentOptions{})
+	if !ok || inst.Kind != InstrPhases {
+		t.Fatalf("phase trace: ok=%v kind=%v", ok, inst.Kind)
+	}
+	if len(inst.Segments) != 3 {
+		t.Fatalf("segments = %d", len(inst.Segments))
+	}
+
+	periodic := &BranchProfile{Outcomes: FromString(strings.Repeat("TTTF", 200))}
+	inst, ok = periodic.Instrumentable(SegmentOptions{})
+	if !ok || inst.Kind != InstrPeriodic || inst.Periodic.Period != 4 {
+		t.Fatalf("periodic trace: ok=%v kind=%v per=%d", ok, inst.Kind, inst.Periodic.Period)
+	}
+
+	// Monotonic: only one segment → not instrumentable (nothing to split).
+	mono := &BranchProfile{Outcomes: FromString(strings.Repeat("T", 512))}
+	if _, ok := mono.Instrumentable(SegmentOptions{}); ok {
+		t.Error("monotonic trace must not be instrumentable")
+	}
+
+	// Pure noise: one mixed segment → not instrumentable.
+	rng := rand.New(rand.NewSource(3))
+	v := &BitVector{}
+	for i := 0; i < 4096; i++ {
+		v.Append(rng.Intn(2) == 0)
+	}
+	noisy := &BranchProfile{Outcomes: v}
+	if inst, ok := noisy.Instrumentable(SegmentOptions{}); ok {
+		t.Errorf("noise reported instrumentable: %+v", inst)
+	}
+}
+
+// Property: segments always tile [0, n) contiguously and no two
+// neighbours share a class.
+func TestQuickSegmentsTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(3000)
+		v := &BitVector{}
+		// Piecewise-biased random trace.
+		for i := 0; i < n; {
+			runLen := 1 + rng.Intn(200)
+			bias := rng.Float64()
+			for j := 0; j < runLen && i < n; j, i = j+1, i+1 {
+				v.Append(rng.Float64() < bias)
+			}
+		}
+		bp := &BranchProfile{Outcomes: v}
+		segs := bp.Segments(SegmentOptions{})
+		if len(segs) == 0 {
+			t.Fatalf("trial %d: no segments for n=%d", trial, n)
+		}
+		if segs[0].Start != 0 || segs[len(segs)-1].End != n {
+			t.Fatalf("trial %d: segments do not cover [0,%d): %+v", trial, n, segs)
+		}
+		for i := range segs {
+			if segs[i].Len() <= 0 {
+				t.Fatalf("trial %d: empty segment %+v", trial, segs[i])
+			}
+			if i > 0 {
+				if segs[i].Start != segs[i-1].End {
+					t.Fatalf("trial %d: gap between segments", trial)
+				}
+				if segs[i].Class == segs[i-1].Class {
+					t.Fatalf("trial %d: adjacent segments share class %v", trial, segs[i].Class)
+				}
+			}
+			if segs[i].TakenFreq < 0 || segs[i].TakenFreq > 1 {
+				t.Fatalf("trial %d: bad freq %v", trial, segs[i].TakenFreq)
+			}
+		}
+	}
+}
+
+func TestCollectFromInterpreter(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+	li r1, 0
+loop:
+	and r2, r1, 1
+	beq r2, 0, even
+odd:
+	j next
+even:
+	add r3, r3, 1
+next:
+	add r1, r1, 1
+	blt r1, 100, loop
+done:
+	halt
+`)
+	prof, res, err := Collect(p, interp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.DynInstrs != res.DynInstrs || prof.DynInstrs == 0 {
+		t.Error("DynInstrs not propagated")
+	}
+	inner := prof.Site("main.loop")
+	if inner == nil {
+		t.Fatal("main.loop not profiled")
+	}
+	if inner.Count() != 100 {
+		t.Errorf("inner count = %d", inner.Count())
+	}
+	// beq r2,0 taken on even iterations: alternates → period 2.
+	if tf := inner.ToggleFactor(); tf != 1.0 {
+		t.Errorf("alternating branch toggle factor = %v", tf)
+	}
+	if per, ok := inner.DetectPeriod(SegmentOptions{}); !ok || per.Period != 2 {
+		t.Errorf("alternating branch period = %+v ok=%v", per, ok)
+	}
+	back := prof.Site("main.next")
+	if back == nil {
+		t.Fatal("main.next not profiled")
+	}
+	if back.Bias() < 0.98 {
+		t.Errorf("back branch bias = %v", back.Bias())
+	}
+	if prof.BranchRatio() <= 0 || prof.BranchRatio() >= 1 {
+		t.Errorf("branch ratio = %v", prof.BranchRatio())
+	}
+	// Sites are sorted.
+	sites := prof.Sites()
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1].Site >= sites[i].Site {
+			t.Error("Sites not sorted")
+		}
+	}
+	if prof.TotalBranches() != 200 {
+		t.Errorf("TotalBranches = %d, want 200", prof.TotalBranches())
+	}
+}

@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := NewProfile()
+	p.DynInstrs = 123456
+	p.Annulled = 42
+	rng := rand.New(rand.NewSource(5))
+	want := map[string]string{}
+	for _, site := range []string{"main.a", "main.b", "helper.x"} {
+		n := 1 + rng.Intn(5000)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			taken := rng.Intn(2) == 0
+			p.Record(site, taken)
+			if taken {
+				sb.WriteByte('T')
+			} else {
+				sb.WriteByte('F')
+			}
+		}
+		want[site] = sb.String()
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DynInstrs != p.DynInstrs || q.Annulled != p.Annulled {
+		t.Error("header fields lost")
+	}
+	for site, outcomes := range want {
+		bp := q.Site(site)
+		if bp == nil {
+			t.Fatalf("site %s lost", site)
+		}
+		if got := bp.Outcomes.String(); got != outcomes {
+			t.Fatalf("site %s outcomes corrupted (len %d vs %d)", site, len(got), len(outcomes))
+		}
+	}
+	if len(q.Sites()) != len(p.Sites()) {
+		t.Error("site count differs")
+	}
+}
+
+func TestLoadedProfileDrivesAnalysis(t *testing.T) {
+	// The analyses must produce identical answers on a reloaded profile.
+	src := `
+func main:
+entry:
+	li r1, 0
+loop:
+	and r2, r1, 3
+	beq r2, 0, skip
+body:
+	add r3, r3, 1
+skip:
+	add r1, r1, 1
+	blt r1, 400, loop
+exit:
+	halt
+`
+	p := asm.MustParse(src)
+	orig, _, err := Collect(p, interp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := orig.Site("main.loop"), loaded.Site("main.loop")
+	if a.TakenFreq() != b.TakenFreq() || a.ToggleFactor() != b.ToggleFactor() {
+		t.Error("scalar metrics differ after reload")
+	}
+	pa, oka := a.DetectPeriod(SegmentOptions{})
+	pb, okb := b.DetectPeriod(SegmentOptions{})
+	if oka != okb || pa.Period != pb.Period {
+		t.Error("periodicity differs after reload")
+	}
+	sa, sb := a.Segments(SegmentOptions{}), b.Segments(SegmentOptions{})
+	if len(sa) != len(sb) {
+		t.Error("segmentation differs after reload")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version": 99, "sites": {}}`,
+		`{"version": 1, "sites": {"x": {"count": -1, "bits": ""}}}`,
+		`{"version": 1, "sites": {"x": {"count": 8, "bits": "!!!"}}}`,
+		`{"version": 1, "sites": {"x": {"count": 1000, "bits": "AAAA"}}}`,
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("Load(%q) should fail", c)
+		}
+	}
+}
+
+func TestSaveEmptyProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewProfile().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sites()) != 0 {
+		t.Error("empty profile grew sites")
+	}
+}

@@ -1,0 +1,123 @@
+package prog
+
+import (
+	"specguard/internal/isa"
+)
+
+// Builder constructs a Func block by block. It is the programmatic
+// counterpart of the assembler and is what the synthetic workload
+// kernels in internal/bench are written with.
+//
+// Usage:
+//
+//	b := prog.NewBuilder("main")
+//	b.Block("entry")
+//	b.Li(isa.R(1), 0)
+//	b.Block("loop")
+//	b.OpI(isa.Add, isa.R(1), isa.R(1), 1)
+//	b.BranchI(isa.Blt, isa.R(1), 100, "loop")
+//	b.Block("done")
+//	b.Halt()
+//	f := b.Func()
+type Builder struct {
+	f   *Func
+	cur *Block
+}
+
+// NewBuilder starts building a function named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{f: NewFunc(name)}
+}
+
+// Block starts a new basic block named name; subsequent emissions go
+// there. Blocks are laid out in the order they are declared.
+func (b *Builder) Block(name string) *Builder {
+	b.cur = b.f.AddBlock(name)
+	return b
+}
+
+// Emit appends a copy of in to the current block.
+func (b *Builder) Emit(in isa.Instr) *Builder {
+	if b.cur == nil {
+		panic("prog.Builder: Emit before Block")
+	}
+	b.cur.Instrs = append(b.cur.Instrs, &in)
+	return b
+}
+
+// Op3 emits a three-register operation: op rd, rs, rt.
+func (b *Builder) Op3(op isa.Op, rd, rs, rt isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// OpI emits a register-immediate operation: op rd, rs, imm.
+func (b *Builder) OpI(op isa.Op, rd, rs isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Li emits li rd, imm.
+func (b *Builder) Li(rd isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Li, Rd: rd, Imm: imm})
+}
+
+// Mov emits mov rd, rs.
+func (b *Builder) Mov(rd, rs isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Mov, Rd: rd, Rs: rs})
+}
+
+// Load emits op rd, off(base) for Lw/Lf.
+func (b *Builder) Load(op isa.Op, rd, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs: base, Imm: off})
+}
+
+// Store emits op val, off(base) for Sw/Sf.
+func (b *Builder) Store(op isa.Op, val, base isa.Reg, off int64) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: val, Rs: base, Imm: off})
+}
+
+// Branch emits a two-register conditional branch: op rs, rt, label.
+func (b *Builder) Branch(op isa.Op, rs, rt isa.Reg, label string) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rs: rs, Rt: rt, Label: label})
+}
+
+// BranchI emits a register-immediate conditional branch: op rs, imm, label.
+func (b *Builder) BranchI(op isa.Op, rs isa.Reg, imm int64, label string) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rs: rs, Imm: imm, Label: label})
+}
+
+// BranchP emits a predicate branch: bp/bpl ps, label.
+func (b *Builder) BranchP(op isa.Op, ps isa.Reg, label string) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rs: ps, Label: label})
+}
+
+// Jump emits j label.
+func (b *Builder) Jump(label string) *Builder {
+	return b.Emit(isa.Instr{Op: isa.J, Label: label})
+}
+
+// Call emits call fn.
+func (b *Builder) Call(fn string) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Call, Label: fn})
+}
+
+// Ret emits ret.
+func (b *Builder) Ret() *Builder { return b.Emit(isa.Instr{Op: isa.Ret}) }
+
+// Halt emits halt.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Instr{Op: isa.Halt}) }
+
+// Switch emits switch rs, targets... (a register-relative jump).
+func (b *Builder) Switch(rs isa.Reg, targets ...string) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Switch, Rs: rs, Targets: targets})
+}
+
+// Nop emits a nop.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Func finalizes and returns the function. It panics if the CFG is
+// malformed (unknown branch targets), since builder call sites are
+// static program definitions.
+func (b *Builder) Func() *Func {
+	b.f.MustRebuildCFG()
+	return b.f
+}

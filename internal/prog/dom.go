@@ -1,0 +1,209 @@
+package prog
+
+// Dominator computation and natural-loop detection. The optimizer uses
+// loops to find the forward branches the Fig. 6 algorithm classifies and
+// the backward branches it may convert to branch-likely form.
+
+// DomTree holds immediate dominators for one function's CFG.
+type DomTree struct {
+	f    *Func
+	idom map[*Block]*Block
+	rpo  []*Block
+}
+
+// Dominators computes the dominator tree of f using the classic
+// iterative algorithm of Cooper, Harvey and Kennedy over a reverse
+// postorder. Blocks unreachable from the entry have no dominator and
+// are reported by Reachable as false.
+func Dominators(f *Func) *DomTree {
+	entry := f.Entry()
+	d := &DomTree{f: f, idom: make(map[*Block]*Block)}
+	if entry == nil {
+		return d
+	}
+
+	// Reverse postorder over the CFG.
+	index := make(map[*Block]int)
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	d.rpo = post
+	for i, b := range post {
+		index[b] = i
+	}
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = d.idom[a]
+			}
+			for index[b] > index[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range post {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue // predecessor not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (d *DomTree) Reachable(b *Block) bool { return d.idom[b] != nil }
+
+// IDom returns b's immediate dominator (nil for the entry block or an
+// unreachable block).
+func (d *DomTree) IDom(b *Block) *Block {
+	if b == d.f.Entry() {
+		return nil
+	}
+	return d.idom[b]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if !d.Reachable(a) || !d.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == b || next == nil {
+			return false
+		}
+		b = next
+	}
+}
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder (entry first).
+func (d *DomTree) ReversePostorder() []*Block { return d.rpo }
+
+// Loop is a natural loop: Head is the loop header, Blocks the set of
+// member blocks, Latches the sources of back edges into Head, and
+// Exits the in-loop blocks with a successor outside the loop.
+type Loop struct {
+	Head    *Block
+	Blocks  map[*Block]bool
+	Latches []*Block
+	Exits   []*Block
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// NaturalLoops finds all natural loops of f, one per header (back edges
+// sharing a header are merged), ordered by the header's layout position.
+// The CFG must be current.
+func NaturalLoops(f *Func) []*Loop {
+	d := Dominators(f)
+	byHead := make(map[*Block]*Loop)
+	var heads []*Block
+
+	for _, b := range d.ReversePostorder() {
+		for _, s := range b.Succs {
+			if !d.Dominates(s, b) {
+				continue // not a back edge
+			}
+			l := byHead[s]
+			if l == nil {
+				l = &Loop{Head: s, Blocks: map[*Block]bool{s: true}}
+				byHead[s] = l
+				heads = append(heads, s)
+			}
+			l.Latches = append(l.Latches, b)
+			// Natural-loop body: b plus everything that reaches b
+			// without passing through the header.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range n.Preds {
+					if !l.Blocks[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(heads))
+	for _, h := range heads {
+		l := byHead[h]
+		for blk := range l.Blocks {
+			for _, s := range blk.Succs {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, blk)
+					break
+				}
+			}
+		}
+		loops = append(loops, l)
+	}
+	// Order deterministically by header layout position.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if f.Index(loops[j].Head) < f.Index(loops[i].Head) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	return loops
+}
+
+// IsBackwardBranch reports whether b's terminating conditional branch
+// targets a block at or before b in layout order — the paper's
+// forward/backward branch distinction in the Fig. 6 algorithm.
+func IsBackwardBranch(f *Func, b *Block) bool {
+	br := b.CondBranch()
+	if br == nil {
+		return false
+	}
+	tgt := f.Block(br.Label)
+	if tgt == nil {
+		return false
+	}
+	return f.Index(tgt) <= f.Index(b)
+}

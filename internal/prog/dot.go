@@ -1,0 +1,39 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotCFG renders f's control-flow graph in Graphviz dot syntax, with
+// one record node per basic block (instructions listed) and edges
+// labelled T/F on conditional branches. Pipe the output through
+// `dot -Tsvg` to visualize what a transformation did to a function.
+func DotCFG(f *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	for _, blk := range f.Blocks {
+		var lines []string
+		lines = append(lines, blk.Name+":")
+		for _, in := range blk.Instrs {
+			lines = append(lines, "  "+in.String())
+		}
+		label := strings.Join(lines, "\\l") + "\\l"
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", blk.Name, label)
+	}
+	for _, blk := range f.Blocks {
+		switch {
+		case blk.CondBranch() != nil && len(blk.Succs) == 2:
+			fmt.Fprintf(&b, "  %q -> %q [label=\"T\"];\n", blk.Name, blk.Succs[0].Name)
+			fmt.Fprintf(&b, "  %q -> %q [label=\"F\"];\n", blk.Name, blk.Succs[1].Name)
+		default:
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&b, "  %q -> %q;\n", blk.Name, s.Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"specguard/internal/isa"
+)
+
+func TestDotCFG(t *testing.T) {
+	b := NewBuilder("main")
+	b.Block("B1").Branch(isa.Beq, isa.R(1), isa.R(2), "T")
+	b.Block("F").OpI(isa.Add, isa.R(3), isa.R(3), 1).Jump("J")
+	b.Block("T").OpI(isa.Sub, isa.R(3), isa.R(3), 1)
+	b.Block("J").Halt()
+	f := b.Func()
+
+	dot := DotCFG(f)
+	for _, want := range []string{
+		`digraph "main"`,
+		`"B1" -> "T" [label="T"]`,
+		`"B1" -> "F" [label="F"]`,
+		`"F" -> "J"`,
+		`"T" -> "J"`,
+		"beq r1, r2, T",
+		"halt",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("dot output not closed")
+	}
+}
+
+func TestDotCFGEscapesQuotes(t *testing.T) {
+	// No current instruction prints quotes, but the escaping must not
+	// corrupt ordinary output.
+	b := NewBuilder("q")
+	b.Block("only").Halt()
+	dot := DotCFG(b.Func())
+	if strings.Count(dot, `\"`) != 0 {
+		t.Error("unexpected escapes in plain output")
+	}
+}

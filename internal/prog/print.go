@@ -1,0 +1,32 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in the assembly syntax accepted by
+// internal/asm, suitable for dumping before/after transformation.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s:\n", f.Name)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in.String())
+		}
+	}
+	return b.String()
+}

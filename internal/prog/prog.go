@@ -1,0 +1,290 @@
+// Package prog defines the compiler's program representation: functions
+// made of named basic blocks holding isa.Instr values, with computed
+// control-flow edges, dominators and natural-loop detection.
+//
+// Layout order is semantic: a block that does not end in an
+// unconditional transfer falls through to the next block in its
+// function's Blocks slice, and a conditional branch falls through there
+// when not taken. Every transform must call Func.RebuildCFG after
+// changing block contents or layout.
+package prog
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+)
+
+// Block is a basic block: a straight-line instruction sequence in which
+// only the final instruction may transfer control.
+type Block struct {
+	Name   string
+	Instrs []*isa.Instr
+
+	// Succs and Preds are the control-flow edges, valid after
+	// Func.RebuildCFG. For a conditional branch, Succs[0] is the taken
+	// target and Succs[1] the fall-through; this ordering is relied on
+	// by the cost models in internal/core.
+	Succs []*Block
+	Preds []*Block
+
+	fn *Block // unused; placeholder to keep struct layout stable
+}
+
+// Func is one procedure.
+type Func struct {
+	Name   string
+	Blocks []*Block
+
+	byName map[string]*Block
+}
+
+// Program is a whole compilation unit. Execution begins at the first
+// block of the function named by Entry ("main" by default).
+type Program struct {
+	Funcs []*Func
+	Entry string
+
+	byName map[string]*Func
+}
+
+// NewProgram returns an empty program with entry point "main".
+func NewProgram() *Program {
+	return &Program{Entry: "main", byName: make(map[string]*Func)}
+}
+
+// AddFunc appends a function and indexes it by name.
+func (p *Program) AddFunc(f *Func) {
+	if p.byName == nil {
+		p.byName = make(map[string]*Func)
+	}
+	if _, dup := p.byName[f.Name]; dup {
+		panic(fmt.Sprintf("prog: duplicate function %q", f.Name))
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.byName[f.Name] = f
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *Func {
+	return p.byName[name]
+}
+
+// EntryFunc returns the program's entry function, or nil if missing.
+func (p *Program) EntryFunc() *Func { return p.Func(p.Entry) }
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func {
+	return &Func{Name: name, byName: make(map[string]*Block)}
+}
+
+// AddBlock appends a new empty block named name and returns it.
+func (f *Func) AddBlock(name string) *Block {
+	if _, dup := f.byName[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate block %q in %q", name, f.Name))
+	}
+	b := &Block{Name: name}
+	f.Blocks = append(f.Blocks, b)
+	f.byName[name] = b
+	return b
+}
+
+// InsertBlockAfter creates a new block named name laid out immediately
+// after pos. The caller must RebuildCFG afterwards.
+func (f *Func) InsertBlockAfter(pos *Block, name string) *Block {
+	if _, dup := f.byName[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate block %q in %q", name, f.Name))
+	}
+	b := &Block{Name: name}
+	f.byName[name] = b
+	for i, blk := range f.Blocks {
+		if blk == pos {
+			f.Blocks = append(f.Blocks[:i+1], append([]*Block{b}, f.Blocks[i+1:]...)...)
+			return b
+		}
+	}
+	panic(fmt.Sprintf("prog: block %q not in %q", pos.Name, f.Name))
+}
+
+// Block returns the block named name, or nil.
+func (f *Func) Block(name string) *Block { return f.byName[name] }
+
+// ForgetNames drops blocks from the name index; used by transforms
+// after removing blocks from the layout.
+func (f *Func) ForgetNames(blocks ...*Block) {
+	for _, b := range blocks {
+		if f.byName[b.Name] == b {
+			delete(f.byName, b.Name)
+		}
+	}
+}
+
+// Entry returns the function's entry block, or nil if the function is
+// empty.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Index returns b's position in layout order, or -1.
+func (f *Func) Index(b *Block) int {
+	for i, blk := range f.Blocks {
+		if blk == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// layoutNext returns the block following b in layout order, or nil.
+func (f *Func) layoutNext(b *Block) *Block {
+	i := f.Index(b)
+	if i < 0 || i+1 >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[i+1]
+}
+
+// Terminator returns b's final instruction if it transfers control,
+// else nil (pure fall-through block).
+func (b *Block) Terminator() *isa.Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsControl() {
+		return last
+	}
+	return nil
+}
+
+// Body returns the instructions of b excluding its terminator.
+func (b *Block) Body() []*isa.Instr {
+	if b.Terminator() != nil {
+		return b.Instrs[:len(b.Instrs)-1]
+	}
+	return b.Instrs
+}
+
+// CondBranch returns b's terminating conditional branch, or nil.
+func (b *Block) CondBranch() *isa.Instr {
+	t := b.Terminator()
+	if t != nil && t.Op.IsCondBranch() {
+		return t
+	}
+	return nil
+}
+
+// RebuildCFG recomputes Succs and Preds for every block from the
+// instruction stream and layout order. Call/Ret do not create
+// intra-function edges: a call falls through to the next instruction on
+// return, so the block containing it keeps its layout successor.
+func (f *Func) RebuildCFG() error {
+	for _, b := range f.Blocks {
+		b.Succs = b.Succs[:0]
+		b.Preds = b.Preds[:0]
+	}
+	addEdge := func(from, to *Block) {
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		switch {
+		case t == nil:
+			if next := f.layoutNext(b); next != nil {
+				addEdge(b, next)
+			}
+		case t.Op.IsCondBranch():
+			tgt := f.Block(t.Label)
+			if tgt == nil {
+				return fmt.Errorf("prog: %s.%s: branch to unknown block %q", f.Name, b.Name, t.Label)
+			}
+			addEdge(b, tgt)
+			if next := f.layoutNext(b); next != nil {
+				addEdge(b, next)
+			}
+		case t.Op == isa.J:
+			tgt := f.Block(t.Label)
+			if tgt == nil {
+				return fmt.Errorf("prog: %s.%s: jump to unknown block %q", f.Name, b.Name, t.Label)
+			}
+			addEdge(b, tgt)
+		case t.Op == isa.Switch:
+			for _, lbl := range t.Targets {
+				tgt := f.Block(lbl)
+				if tgt == nil {
+					return fmt.Errorf("prog: %s.%s: switch to unknown block %q", f.Name, b.Name, lbl)
+				}
+				addEdge(b, tgt)
+			}
+		case t.Op == isa.Call:
+			// Intra-function fall-through after the callee returns.
+			if next := f.layoutNext(b); next != nil {
+				addEdge(b, next)
+			}
+		case t.Op == isa.Ret, t.Op == isa.Halt:
+			// No successors.
+		}
+	}
+	return nil
+}
+
+// MustRebuildCFG is RebuildCFG but panics on malformed control flow;
+// for use by transforms that have already verified their input.
+func (f *Func) MustRebuildCFG() {
+	if err := f.RebuildCFG(); err != nil {
+		panic(err)
+	}
+}
+
+// FreshBlockName returns a block name of the form prefix, prefix.1,
+// prefix.2, … that is unused in f.
+func (f *Func) FreshBlockName(prefix string) string {
+	if _, used := f.byName[prefix]; !used {
+		return prefix
+	}
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s.%d", prefix, i)
+		if _, used := f.byName[name]; !used {
+			return name
+		}
+	}
+}
+
+// Clone returns a deep copy of the program (instructions included) with
+// a freshly computed CFG.
+func (p *Program) Clone() *Program {
+	q := NewProgram()
+	q.Entry = p.Entry
+	for _, f := range p.Funcs {
+		g := NewFunc(f.Name)
+		for _, b := range f.Blocks {
+			nb := g.AddBlock(b.Name)
+			for _, in := range b.Instrs {
+				nb.Instrs = append(nb.Instrs, in.Clone())
+			}
+		}
+		g.MustRebuildCFG()
+		q.AddFunc(g)
+	}
+	return q
+}
+
+// NumInstrs returns the static instruction count of the program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// BranchSiteID names a branch site stably across profiling and
+// transformation: "func.block". Exactly one conditional branch can
+// terminate a block, so the pair is unique.
+func BranchSiteID(f *Func, b *Block) string { return f.Name + "." + b.Name }

@@ -1,0 +1,86 @@
+package prog
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+)
+
+// VerifyMode selects how strict Verify is.
+type VerifyMode int
+
+const (
+	// VerifyIR accepts compiler-internal forms, including fully
+	// predicated ("fictional") operations.
+	VerifyIR VerifyMode = iota
+	// VerifyMachine additionally requires every instruction to be
+	// emittable for the R10000 target: the only guarded operation
+	// allowed is the conditional move (see isa.Instr.MachineLegal).
+	VerifyMachine
+)
+
+// Verify checks structural well-formedness of the program:
+//
+//   - the entry function exists and is non-empty;
+//   - control-transfer instructions appear only as block terminators;
+//   - every branch/jump label resolves to a block in the same function,
+//     every call label resolves to a function, and Switch has at least
+//     one target;
+//   - the final block of each function ends in an unconditional
+//     transfer (no falling off the end of a function);
+//   - under VerifyMachine, every instruction is machine-legal.
+//
+// It returns the first violation found.
+func Verify(p *Program, mode VerifyMode) error {
+	if p.EntryFunc() == nil {
+		return fmt.Errorf("prog: entry function %q not defined", p.Entry)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("prog: function %q has no blocks", f.Name)
+		}
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Instrs {
+				last := ii == len(b.Instrs)-1
+				if in.Op.IsControl() && !last {
+					return fmt.Errorf("prog: %s.%s[%d]: control instruction %q not at block end",
+						f.Name, b.Name, ii, in.String())
+				}
+				if mode == VerifyMachine && !in.MachineLegal() {
+					return fmt.Errorf("prog: %s.%s[%d]: %q is not machine-legal (guarded non-move)",
+						f.Name, b.Name, ii, in.String())
+				}
+				switch {
+				case in.Op.IsCondBranch() || in.Op == isa.J:
+					if f.Block(in.Label) == nil {
+						return fmt.Errorf("prog: %s.%s[%d]: unknown target %q",
+							f.Name, b.Name, ii, in.Label)
+					}
+				case in.Op == isa.Call:
+					if p.Func(in.Label) == nil {
+						return fmt.Errorf("prog: %s.%s[%d]: call to unknown function %q",
+							f.Name, b.Name, ii, in.Label)
+					}
+				case in.Op == isa.Switch:
+					if len(in.Targets) == 0 {
+						return fmt.Errorf("prog: %s.%s[%d]: switch with no targets", f.Name, b.Name, ii)
+					}
+					for _, lbl := range in.Targets {
+						if f.Block(lbl) == nil {
+							return fmt.Errorf("prog: %s.%s[%d]: unknown switch target %q",
+								f.Name, b.Name, ii, lbl)
+						}
+					}
+				}
+			}
+			if bi == len(f.Blocks)-1 {
+				t := b.Terminator()
+				if t == nil || t.Op.IsCondBranch() || t.Op == isa.Call {
+					return fmt.Errorf("prog: %s.%s: final block may fall off the end of the function",
+						f.Name, b.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package sched implements the local (basic-block) list scheduler the
+// paper's cost models are built on: the "schedule lengths obtained
+// using a local scheduler" annotated on Fig. 2's blocks, and the vacant
+// slots that decide how many operations speculation can hoist for free.
+package sched
+
+import (
+	"specguard/internal/dep"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+)
+
+// Result is the schedule of one block.
+type Result struct {
+	// Cycle[i] is the issue cycle assigned to instruction i (0-based).
+	Cycle []int
+	// Length is the makespan in cycles: the block occupies cycles
+	// [0, Length), counting the latency of the last finishing
+	// instruction.
+	Length int
+}
+
+// Schedule list-schedules the instruction sequence on the model's
+// resources: at most IssueWidth instructions per cycle, at most
+// UnitCount(u) instructions of each unit class per cycle (units are
+// fully pipelined), and dependence edges delay issue by
+// dep.Edge.Latency. Priority is the critical-path height, computed
+// over the block's dependence graph.
+func Schedule(ins []*isa.Instr, m *machine.Model) *Result {
+	n := len(ins)
+	res := &Result{Cycle: make([]int, n)}
+	if n == 0 {
+		return res
+	}
+	g := dep.Build(ins)
+
+	// Critical-path height: longest latency-weighted path to a sink.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := m.Latency(ins[i].Op)
+		for _, e := range g.Succs[i] {
+			if v := e.Latency(m.Latency(ins[i].Op)) + height[e.To]; v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+
+	scheduled := make([]bool, n)
+	earliest := make([]int, n)
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		issued := 0
+		unitUsed := make(map[isa.UnitClass]int)
+		for issued < m.IssueWidth {
+			// Pick the highest unscheduled ready instruction;
+			// ties broken by program order (lower index first).
+			best := -1
+			for i := 0; i < n; i++ {
+				if scheduled[i] || earliest[i] > cycle {
+					continue
+				}
+				ready := true
+				for _, e := range g.Preds[i] {
+					if !scheduled[e.From] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				u := ins[i].Op.Unit()
+				if unitUsed[u] >= m.UnitCount(u) {
+					continue
+				}
+				if best < 0 || height[i] > height[best] {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			scheduled[best] = true
+			res.Cycle[best] = cycle
+			unitUsed[ins[best].Op.Unit()]++
+			issued++
+			remaining--
+			for _, e := range g.Succs[best] {
+				if v := cycle + e.Latency(m.Latency(ins[best].Op)); v > earliest[e.To] {
+					earliest[e.To] = v
+				}
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if end := res.Cycle[i] + m.Latency(ins[i].Op); end > res.Length {
+			res.Length = end
+		}
+	}
+	return res
+}
+
+// Length returns the schedule length of ins in cycles.
+func Length(ins []*isa.Instr, m *machine.Model) int {
+	return Schedule(ins, m).Length
+}
+
+// VacantSlots returns the unused issue capacity of the schedule:
+// Length×IssueWidth minus the instruction count (Fig. 2: "block one
+// has four vacant slots"). It is an upper bound on how many operations
+// could be absorbed without lengthening the schedule; Absorbable gives
+// the exact answer for a concrete candidate set.
+func VacantSlots(ins []*isa.Instr, m *machine.Model) int {
+	s := Schedule(ins, m)
+	v := s.Length*m.IssueWidth - len(ins)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Absorbable reports how many of the extra instructions (appended in
+// order after base's body, before its terminator) fit without growing
+// the schedule beyond base's current length, and the resulting length
+// when all of them are inserted. The extra instructions are assumed
+// dependence-checked by the caller (they are hoisted from a successor
+// block, so they depend only on values available in base).
+func Absorbable(base, extra []*isa.Instr, m *machine.Model) (fit int, fullLength int) {
+	baseLen := Length(base, m)
+	combined := insertBeforeTerminator(base, extra)
+	fullLength = Length(combined, m)
+
+	fit = len(extra)
+	for k := len(extra); k >= 0; k-- {
+		trial := insertBeforeTerminator(base, extra[:k])
+		if Length(trial, m) <= baseLen {
+			fit = k
+			break
+		}
+		if k == 0 {
+			fit = 0
+		}
+	}
+	return fit, fullLength
+}
+
+// insertBeforeTerminator returns base with extra spliced in before the
+// terminator (or appended, if base has none).
+func insertBeforeTerminator(base, extra []*isa.Instr) []*isa.Instr {
+	out := make([]*isa.Instr, 0, len(base)+len(extra))
+	cut := len(base)
+	if cut > 0 && base[cut-1].Op.IsControl() {
+		cut--
+	}
+	out = append(out, base[:cut]...)
+	out = append(out, extra...)
+	out = append(out, base[cut:]...)
+	return out
+}

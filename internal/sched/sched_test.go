@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"specguard/internal/dep"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+)
+
+func model() *machine.Model { return machine.R10000() }
+
+func TestEmptyBlock(t *testing.T) {
+	r := Schedule(nil, model())
+	if r.Length != 0 || len(r.Cycle) != 0 {
+		t.Fatalf("empty schedule = %+v", r)
+	}
+}
+
+func TestSingleInstructionLengths(t *testing.T) {
+	m := model()
+	cases := []struct {
+		in   isa.Instr
+		want int
+	}{
+		{isa.Instr{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(2), Rt: isa.R(3)}, 1},
+		{isa.Instr{Op: isa.Sll, Rd: isa.R(1), Rs: isa.R(2), Imm: 3}, 1},
+		{isa.Instr{Op: isa.Lw, Rd: isa.R(1), Rs: isa.R(2)}, 2},
+		{isa.Instr{Op: isa.FAdd, Rd: isa.F(1), Rs: isa.F(2), Rt: isa.F(3)}, 3},
+		{isa.Instr{Op: isa.FMul, Rd: isa.F(1), Rs: isa.F(2), Rt: isa.F(3)}, 3},
+		{isa.Instr{Op: isa.FDiv, Rd: isa.F(1), Rs: isa.F(2), Rt: isa.F(3)}, 3},
+		{isa.Instr{Op: isa.Mul, Rd: isa.R(1), Rs: isa.R(2), Rt: isa.R(3)}, 3},
+		{isa.Instr{Op: isa.Div, Rd: isa.R(1), Rs: isa.R(2), Imm: 3}, 6},
+	}
+	for _, c := range cases {
+		if got := Length([]*isa.Instr{&c.in}, m); got != c.want {
+			t.Errorf("%v: length = %d, want %d", c.in.String(), got, c.want)
+		}
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// add r1←r0; add r2←r1; add r3←r2 : 3 cycles despite 4-wide issue.
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(0), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(1), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(3), Rs: isa.R(2), Imm: 1},
+	}
+	r := Schedule(ins, model())
+	if r.Length != 3 {
+		t.Fatalf("length = %d, want 3", r.Length)
+	}
+	if !(r.Cycle[0] < r.Cycle[1] && r.Cycle[1] < r.Cycle[2]) {
+		t.Fatalf("cycles = %v, want strictly increasing", r.Cycle)
+	}
+}
+
+func TestIndependentOpsPack(t *testing.T) {
+	// Two ALU + one shift + one load are all independent: 1 issue
+	// cycle; length is bounded by the load's latency (2).
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Sub, Rd: isa.R(2), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Sll, Rd: isa.R(3), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Lw, Rd: isa.R(4), Rs: isa.R(9), Imm: 0},
+	}
+	r := Schedule(ins, model())
+	for i, c := range r.Cycle {
+		if c != 0 {
+			t.Errorf("instr %d scheduled at cycle %d, want 0", i, c)
+		}
+	}
+	if r.Length != 2 {
+		t.Errorf("length = %d, want 2 (load latency)", r.Length)
+	}
+}
+
+func TestALUUnitContention(t *testing.T) {
+	// Three independent ALU ops but only 2 ALUs: 2 issue cycles.
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(9), Imm: 2},
+		{Op: isa.Add, Rd: isa.R(3), Rs: isa.R(9), Imm: 3},
+	}
+	r := Schedule(ins, model())
+	if r.Length != 2 {
+		t.Fatalf("length = %d, want 2", r.Length)
+	}
+	perCycle := map[int]int{}
+	for _, c := range r.Cycle {
+		perCycle[c]++
+	}
+	if perCycle[0] != 2 || perCycle[1] != 1 {
+		t.Fatalf("cycle occupancy = %v", perCycle)
+	}
+}
+
+func TestIssueWidthLimit(t *testing.T) {
+	// Five independent ops across different units; width 4 forces a
+	// second cycle even though units are available.
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(9), Imm: 2},
+		{Op: isa.Sll, Rd: isa.R(3), Rs: isa.R(9), Imm: 3},
+		{Op: isa.Lw, Rd: isa.R(4), Rs: isa.R(9), Imm: 0},
+		{Op: isa.FAdd, Rd: isa.F(1), Rs: isa.F(2), Rt: isa.F(3)},
+	}
+	r := Schedule(ins, model())
+	perCycle := map[int]int{}
+	for _, c := range r.Cycle {
+		perCycle[c]++
+	}
+	if perCycle[0] != 4 || perCycle[1] != 1 {
+		t.Fatalf("cycle occupancy = %v", perCycle)
+	}
+}
+
+func TestLoadUseDelay(t *testing.T) {
+	// lw (lat 2) then dependent add: add issues at cycle 2, length 3.
+	ins := []*isa.Instr{
+		{Op: isa.Lw, Rd: isa.R(1), Rs: isa.R(9), Imm: 0},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(1), Imm: 1},
+	}
+	r := Schedule(ins, model())
+	if r.Cycle[1] != 2 {
+		t.Fatalf("dependent add at cycle %d, want 2", r.Cycle[1])
+	}
+	if r.Length != 3 {
+		t.Fatalf("length = %d, want 3", r.Length)
+	}
+}
+
+func TestBranchSchedulesLast(t *testing.T) {
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(9), Imm: 2},
+		{Op: isa.Beq, Rs: isa.R(1), Rt: isa.R(2), Label: "L"},
+	}
+	r := Schedule(ins, model())
+	// Branch truly depends on r1 (lat 1), so it issues at cycle ≥ 1.
+	if r.Cycle[2] < 1 {
+		t.Fatalf("branch at cycle %d, want ≥ 1", r.Cycle[2])
+	}
+	for i := 0; i < 2; i++ {
+		if r.Cycle[i] > r.Cycle[2] {
+			t.Fatal("terminator must not be scheduled before body ops")
+		}
+	}
+}
+
+func TestAntiDependenceSameCycleAllowed(t *testing.T) {
+	// r2 read then overwritten: anti edge latency 0 lets both issue in
+	// cycle 0.
+	ins := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(2), Imm: 1},
+		{Op: isa.Li, Rd: isa.R(2), Imm: 7},
+	}
+	r := Schedule(ins, model())
+	if r.Cycle[0] != 0 || r.Cycle[1] != 0 {
+		t.Fatalf("cycles = %v, want both 0", r.Cycle)
+	}
+}
+
+func TestVacantSlots(t *testing.T) {
+	m := model()
+	// A 10-deep dependent ALU chain: length 10, 1 op/cycle → 30 vacant.
+	var chain []*isa.Instr
+	for i := 0; i < 10; i++ {
+		chain = append(chain, &isa.Instr{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(1), Imm: 1})
+	}
+	if got := VacantSlots(chain, m); got != 30 {
+		t.Errorf("VacantSlots(chain) = %d, want 30", got)
+	}
+	if got := VacantSlots(nil, m); got != 0 {
+		t.Errorf("VacantSlots(empty) = %d", got)
+	}
+}
+
+func TestAbsorbable(t *testing.T) {
+	m := model()
+	// Base: dependent chain of 4 (length 4, plenty of slack).
+	var base []*isa.Instr
+	for i := 0; i < 4; i++ {
+		base = append(base, &isa.Instr{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(1), Imm: 1})
+	}
+	// Extra: two independent shift ops (1 shifter → 1 per cycle, but 4
+	// spare cycles exist).
+	extra := []*isa.Instr{
+		{Op: isa.Sll, Rd: isa.R(2), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Srl, Rd: isa.R(3), Rs: isa.R(9), Imm: 1},
+	}
+	fit, full := Absorbable(base, extra, m)
+	if fit != 2 {
+		t.Errorf("fit = %d, want 2", fit)
+	}
+	if full != 4 {
+		t.Errorf("full length = %d, want 4", full)
+	}
+
+	// A tight block absorbs nothing of the same unit class: 2 ALU ops
+	// per cycle already used.
+	tight := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(9), Imm: 1},
+		{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(9), Imm: 2},
+	}
+	moreALU := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(3), Rs: isa.R(9), Imm: 3},
+	}
+	fit, full = Absorbable(tight, moreALU, m)
+	if fit != 0 {
+		t.Errorf("tight fit = %d, want 0", fit)
+	}
+	if full != 2 {
+		t.Errorf("tight full length = %d, want 2", full)
+	}
+}
+
+func TestAbsorbableInsertsBeforeTerminator(t *testing.T) {
+	m := model()
+	base := []*isa.Instr{
+		{Op: isa.Add, Rd: isa.R(1), Rs: isa.R(1), Imm: 1},
+		{Op: isa.Beq, Rs: isa.R(1), Rt: isa.R(2), Label: "L"},
+	}
+	extra := []*isa.Instr{
+		{Op: isa.Sll, Rd: isa.R(3), Rs: isa.R(9), Imm: 1},
+	}
+	fit, _ := Absorbable(base, extra, m)
+	if fit != 1 {
+		t.Errorf("fit = %d, want 1 (shift issues alongside the add)", fit)
+	}
+}
+
+// Property: schedules respect every dependence edge's latency, resource
+// limits, and assign every instruction exactly one cycle.
+func TestQuickScheduleRespectsDependences(t *testing.T) {
+	m := model()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(14)
+		ins := make([]*isa.Instr, n)
+		for i := range ins {
+			ins[i] = randomInstr(rng)
+		}
+		r := Schedule(ins, m)
+		g := dep.Build(ins)
+		for i := range ins {
+			if r.Cycle[i] < 0 {
+				t.Fatalf("trial %d: instr %d unscheduled", trial, i)
+			}
+			for _, e := range g.Preds[i] {
+				min := r.Cycle[e.From] + e.Latency(m.Latency(ins[e.From].Op))
+				if r.Cycle[i] < min {
+					t.Fatalf("trial %d: edge %v violated: %d < %d", trial, e, r.Cycle[i], min)
+				}
+			}
+		}
+		// Resource limits per cycle.
+		perCycle := map[int]int{}
+		perUnit := map[[2]int]int{}
+		for i, c := range r.Cycle {
+			perCycle[c]++
+			perUnit[[2]int{c, int(ins[i].Op.Unit())}]++
+		}
+		for c, k := range perCycle {
+			if k > m.IssueWidth {
+				t.Fatalf("trial %d: cycle %d issues %d > width", trial, c, k)
+			}
+		}
+		for cu, k := range perUnit {
+			if k > m.UnitCount(isa.UnitClass(cu[1])) {
+				t.Fatalf("trial %d: cycle %d unit %v used %d times", trial, cu[0], isa.UnitClass(cu[1]), k)
+			}
+		}
+		// Length consistency.
+		want := 0
+		for i, c := range r.Cycle {
+			if end := c + m.Latency(ins[i].Op); end > want {
+				want = end
+			}
+		}
+		if r.Length != want {
+			t.Fatalf("trial %d: Length = %d, want %d", trial, r.Length, want)
+		}
+	}
+}
+
+func randomInstr(rng *rand.Rand) *isa.Instr {
+	r := func() isa.Reg { return isa.R(rng.Intn(8)) }
+	f := func() isa.Reg { return isa.F(rng.Intn(8)) }
+	switch rng.Intn(8) {
+	case 0:
+		return &isa.Instr{Op: isa.Add, Rd: r(), Rs: r(), Rt: r()}
+	case 1:
+		return &isa.Instr{Op: isa.Li, Rd: r(), Imm: int64(rng.Intn(100))}
+	case 2:
+		return &isa.Instr{Op: isa.Lw, Rd: r(), Rs: r(), Imm: int64(rng.Intn(8) * 8)}
+	case 3:
+		return &isa.Instr{Op: isa.Sw, Rd: r(), Rs: r(), Imm: int64(rng.Intn(8) * 8)}
+	case 4:
+		return &isa.Instr{Op: isa.Sll, Rd: r(), Rs: r(), Imm: int64(rng.Intn(8))}
+	case 5:
+		return &isa.Instr{Op: isa.FAdd, Rd: f(), Rs: f(), Rt: f()}
+	case 6:
+		return &isa.Instr{Op: isa.Mul, Rd: r(), Rs: r(), Rt: r()}
+	default:
+		return &isa.Instr{Op: isa.Xor, Rd: r(), Rs: r(), Rt: r()}
+	}
+}

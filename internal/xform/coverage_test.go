@@ -1,0 +1,266 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+func TestSpeculateVacantSlotPolicy(t *testing.T) {
+	// The branch block already saturates both ALUs each cycle, so with
+	// a Model set, hoisting an ALU op must be refused (it would
+	// lengthen the schedule); without a model it is hoisted.
+	src := `
+func main:
+init:
+	li r1, 0
+	li r2, 1
+B1:
+	add r3, r1, 1
+	add r4, r1, 2
+	beq r1, r2, L1
+B2:
+	add r5, r1, 3
+L1:
+	halt
+`
+	gated := asm.MustParse(src)
+	f := gated.Func("main")
+	n, err := Speculate(f, f.Block("B1"), f.Block("B2"), NewIntPool(f),
+		SpecOptions{Model: machine.R10000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("gated hoist = %d, want 0 (no vacant slot)", n)
+	}
+
+	ungated := asm.MustParse(src)
+	f2 := ungated.Func("main")
+	n2, err := Speculate(f2, f2.Block("B1"), f2.Block("B2"), NewIntPool(f2), SpecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 1 {
+		t.Fatalf("ungated hoist = %d, want 1", n2)
+	}
+}
+
+func TestSpeculateStoreValueRenameSubstitution(t *testing.T) {
+	// A store whose value register was produced by a renamed hoisted
+	// def must read the renamed register (substUses' store path).
+	src := `
+func main:
+init:
+	li r1, 0
+	li r2, 1
+	li r6, 42
+	li r9, 9000
+B1:
+	beq r1, r2, L1
+B2:
+	add r6, r1, 7
+	sw r6, 0(r9)
+L1:
+	add r8, r6, 1
+	halt
+`
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	n, err := Speculate(f, f.Block("B1"), f.Block("B2"), NewIntPool(f), SpecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("hoisted %d, want 1 (the add; stores never move)", n)
+	}
+	mustSame(t, before, after, "store value rename")
+}
+
+func TestSplitBranchMiddleBiasedPhaseUsesPAnd(t *testing.T) {
+	// A biased phase with both a lower and an upper bound needs the
+	// pge/plt/pand dispatch triple.
+	p := asm.MustParse(phasedLoopSrc)
+	f := p.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	phases := []Phase{
+		{Lo: 0, Hi: 300, Class: profile.SegMixed},
+		{Lo: 300, Hi: 700, Class: profile.SegTaken}, // middle biased
+		{Lo: 700, Hi: PhaseEnd, Class: profile.SegMixed},
+	}
+	if _, err := SplitBranch(f, h, phases, NewIntPool(f), NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	text := p.String()
+	if !strings.Contains(text, "pand") {
+		t.Fatalf("middle-phase dispatch must use pand:\n%s", text)
+	}
+	if err := prog.Verify(p, prog.VerifyIR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBranchTriangleVersions(t *testing.T) {
+	// A triangle (no taken-side block: branch jumps straight to the
+	// join) exercises the version builder's join-trampoline paths.
+	src := `
+func main:
+entry:
+	li r1, 0
+	li r9, 0
+loop:
+	and r3, r1, 1
+check:
+	beq r3, 0, J
+F:
+	add r9, r9, 1
+J:
+	add r1, r1, 1
+	blt r1, 1000, loop
+exit:
+	halt
+`
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	if h == nil || h.Taken != nil || h.Fall == nil {
+		t.Fatalf("expected a fall-side triangle, got %+v", h)
+	}
+	phases := []Phase{
+		{Lo: 0, Hi: 500, Class: profile.SegTaken},
+		{Lo: 500, Hi: PhaseEnd, Class: profile.SegNotTaken},
+	}
+	if _, err := SplitBranch(f, h, phases, NewIntPool(f), NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(after, prog.VerifyIR); err != nil {
+		t.Fatalf("verify: %v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "triangle split")
+}
+
+func TestSplitBranchPredPoolExhaustion(t *testing.T) {
+	p := asm.MustParse(phasedLoopSrc)
+	f := p.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	pool := NewPredPool(f)
+	for pool.Len() > 0 {
+		pool.Get()
+	}
+	if _, err := SplitBranch(f, h, phasesFig3(), NewIntPool(f), pool); err == nil {
+		t.Fatal("expected predicate-pool exhaustion error")
+	}
+}
+
+func TestLowerGuardsFPOps(t *testing.T) {
+	// Guarded FP arithmetic and FP memory ops lower through FP
+	// temporaries and guarded fmov (the R10000's MOVT.fmt).
+	src := `
+func main:
+B0:
+	li r1, 1
+	li r9, 9000
+	peq p1, r1, 1
+	lf f1, 0(r9)
+	lf f2, 8(r9)
+	(p1) fadd f3, f1, f2
+	(p1) fmul f4, f3, f2
+	(p1) lf f5, 16(r9)
+	(p1) sf f4, 24(r9)
+	(!p1) fmov f6, f1
+	sf f3, 32(r9)
+	halt
+`
+	p := asm.MustParse(src)
+	f := p.Func("main")
+	if err := LowerGuards(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(p, prog.VerifyMachine); err != nil {
+		t.Fatalf("not machine-legal after FP lowering: %v\n%s", err, p.String())
+	}
+	// Guarded fmov is machine-legal and must survive as-is.
+	foundGuardedFMov := false
+	for _, in := range f.Block("B0").Instrs {
+		if in.Op == isa.FMov && in.Guarded() {
+			foundGuardedFMov = true
+		}
+		if in.Guarded() && !in.MachineLegal() {
+			t.Errorf("illegal guarded op survived: %s", in.String())
+		}
+	}
+	if !foundGuardedFMov {
+		t.Error("guarded fmov should remain (it is the FP conditional move)")
+	}
+}
+
+func TestLowerGuardsPoolExhaustion(t *testing.T) {
+	// A function that mentions every integer register leaves no
+	// temporaries: lowering a guarded ALU op must fail cleanly.
+	f := prog.NewFunc("main")
+	b := f.AddBlock("B0")
+	for i := 1; i < isa.NumIntRegs; i++ {
+		b.Instrs = append(b.Instrs, &isa.Instr{Op: isa.Li, Rd: isa.R(i), Imm: int64(i)})
+	}
+	b.Instrs = append(b.Instrs,
+		&isa.Instr{Op: isa.PEq, Rd: isa.P(1), Rs: isa.R(1), Imm: 1},
+		&isa.Instr{Op: isa.Add, Rd: isa.R(2), Rs: isa.R(3), Imm: 1, Pred: isa.P(1)},
+		&isa.Instr{Op: isa.Halt},
+	)
+	f.MustRebuildCFG()
+	if err := LowerGuards(f); err == nil {
+		t.Fatal("expected temporary-exhaustion error")
+	}
+}
+
+func TestRegPoolReserve(t *testing.T) {
+	p := &RegPool{free: []isa.Reg{isa.R(1), isa.R(2), isa.R(3), isa.R(4)}}
+	p.Reserve(3)
+	if p.Len() != 1 {
+		t.Fatalf("len = %d, want 1", p.Len())
+	}
+	p.Reserve(5)
+	if p.Len() != 0 {
+		t.Fatalf("len = %d, want 0 after over-reserve", p.Len())
+	}
+	if _, ok := p.Get(); ok {
+		t.Fatal("empty pool must refuse")
+	}
+}
+
+func TestMakeLikelyPredicateBranchCannotReverse(t *testing.T) {
+	// bp has no register-comparison negation: fall-biased conversion
+	// must fail cleanly; taken-biased succeeds (bp → bpl).
+	src := `
+func main:
+B0:
+	li r1, 1
+	peq p1, r1, 1
+	bp p1, T
+F:
+	li r2, 1
+	j E
+T:
+	li r2, 2
+E:
+	halt
+`
+	p := asm.MustParse(src)
+	f := p.Func("main")
+	if err := MakeLikely(f, f.Block("B0"), false); err == nil {
+		t.Fatal("fall-biased bp must be rejected (not negatable)")
+	}
+	if err := MakeLikely(f, f.Block("B0"), true); err != nil {
+		t.Fatal(err)
+	}
+	if f.Block("B0").CondBranch().Op != isa.Bpl {
+		t.Error("bp should become bpl")
+	}
+}

@@ -1,0 +1,164 @@
+package xform
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// IfConvert applies guarded execution to the hammock h (Fig. 1(d)):
+// the conditional branch is deleted, a predicate define takes its
+// place, both side blocks are folded into h.B with complementary
+// guards, and h.B jumps straight to the join. Control dependences on
+// the branch become data dependences on the predicate.
+//
+// The produced code contains fully predicated ("fictional") operations;
+// run LowerGuards before simulating machine-legal code.
+//
+// Preconditions beyond MatchHammock's shape checks: the branch must be
+// a register-comparison branch (predicate branches would need pand
+// composition), and a predicate register must be available in pool.
+func IfConvert(f *prog.Func, h *Hammock, pool *RegPool) error {
+	br := h.Branch()
+	if br == nil {
+		return fmt.Errorf("xform: %s has no conditional branch", h.B.Name)
+	}
+	pd, ok := pool.Get()
+	if !ok {
+		return fmt.Errorf("xform: no predicate registers left for if-conversion")
+	}
+	pdef, err := predDefFor(br, pd)
+	if err != nil {
+		return err
+	}
+
+	// Rebuild h.B: body, predicate define, guarded taken side, guarded
+	// fall side, jump to join. Side instructions that are themselves
+	// guarded (from an inner if-conversion) get a composed predicate:
+	// outer ∧ inner, materialized lazily with pand (and pnot for the
+	// negated senses) — the nested-predication case the paper's §3
+	// discusses under "a full-blown predicate analyzer".
+	ins := append([]*isa.Instr{}, h.B.Body()...)
+	ins = append(ins, pdef)
+
+	type compKey struct {
+		outerNeg bool
+		inner    isa.Reg
+		innerNeg bool
+	}
+	composites := map[compKey]isa.Reg{}
+	negations := map[isa.Reg]isa.Reg{} // predicate → its materialized complement
+	negated := func(p isa.Reg) (isa.Reg, bool) {
+		if n, ok := negations[p]; ok {
+			return n, true
+		}
+		n, ok := pool.Get()
+		if !ok {
+			return isa.NoReg, false
+		}
+		ins = append(ins, &isa.Instr{Op: isa.PNot, Rd: n, Rs: p})
+		negations[p] = n
+		return n, true
+	}
+	compose := func(outerNeg bool, inner isa.Reg, innerNeg bool) (isa.Reg, bool) {
+		key := compKey{outerNeg, inner, innerNeg}
+		if q, ok := composites[key]; ok {
+			return q, true
+		}
+		left := pd
+		if outerNeg {
+			var ok bool
+			if left, ok = negated(pd); !ok {
+				return isa.NoReg, false
+			}
+		}
+		right := inner
+		if innerNeg {
+			var ok bool
+			if right, ok = negated(inner); !ok {
+				return isa.NoReg, false
+			}
+		}
+		q, ok := pool.Get()
+		if !ok {
+			return isa.NoReg, false
+		}
+		ins = append(ins, &isa.Instr{Op: isa.PAnd, Rd: q, Rs: left, Rt: right})
+		composites[key] = q
+		return q, true
+	}
+
+	guard := func(src *prog.Block, neg bool) error {
+		if src == nil {
+			return nil
+		}
+		for _, in := range src.Instrs {
+			if in.Op == isa.J {
+				continue // side block's jump to the join disappears
+			}
+			g := in.Clone()
+			switch {
+			case g.Guarded():
+				q, ok := compose(neg, g.Pred, g.PredNeg)
+				if !ok {
+					return fmt.Errorf("xform: no predicate registers left for nested if-conversion")
+				}
+				g.Pred, g.PredNeg = q, false
+			case g.Op.IsPredDef():
+				// An inner predicate define stays unguarded: it writes
+				// a compiler-temporary register whose consumers carry
+				// the composed guard, and executing it on the wrong
+				// path is harmless (pure, trap-free). Guarding it
+				// would be unlowerable.
+			default:
+				g.Pred, g.PredNeg = pd, neg
+			}
+			ins = append(ins, g)
+		}
+		return nil
+	}
+	// The predicate is true when the branch is taken: the taken side
+	// executes under (pd), the fall side under (!pd).
+	if err := guard(h.Taken, false); err != nil {
+		return err
+	}
+	if err := guard(h.Fall, true); err != nil {
+		return err
+	}
+	ins = append(ins, &isa.Instr{Op: isa.J, Label: h.Join.Name})
+	h.B.Instrs = ins
+
+	var dead []*prog.Block
+	if h.Taken != nil {
+		dead = append(dead, h.Taken)
+	}
+	if h.Fall != nil {
+		dead = append(dead, h.Fall)
+	}
+	removeBlocks(f, dead...)
+	f.MustRebuildCFG()
+	return nil
+}
+
+// GuardedCost returns the schedule-relevant instruction count added by
+// if-converting h: every side-block instruction now executes on every
+// pass (minus the eliminated jump and branch, plus the predicate
+// define). The optimizer's cost model uses it together with the local
+// scheduler.
+func GuardedCost(h *Hammock) int {
+	n := 1 // the predicate define
+	count := func(b *prog.Block) {
+		if b == nil {
+			return
+		}
+		for _, in := range b.Instrs {
+			if in.Op != isa.J {
+				n++
+			}
+		}
+	}
+	count(h.Taken)
+	count(h.Fall)
+	return n
+}

@@ -1,0 +1,67 @@
+package xform
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// MakeLikely converts b's terminating conditional branch to its
+// branch-likely variant, so that hardware fetch statically predicts it
+// taken with no BTB entry (Fig. 6: "if branch frequency is highly
+// probable generate branch likely instruction").
+//
+// takenBiased says which direction the profile favours. When the
+// branch is biased towards fall-through, the comparison is negated so
+// the likely branch targets the old fall-through path, and a new block
+// holding "j oldTarget" becomes the (rarely taken) fall-through:
+//
+//	bge r1, r2, COLD          bltl r1, r2, HOT
+//	HOT: ...            →     j COLD
+//
+// It returns an error when the branch cannot be negated (predicate
+// branches biased not-taken) — callers fall back to leaving the branch
+// alone.
+func MakeLikely(f *prog.Func, b *prog.Block, takenBiased bool) error {
+	br := b.CondBranch()
+	if br == nil {
+		return fmt.Errorf("xform: %s has no conditional branch", b.Name)
+	}
+	if br.Op.IsLikely() {
+		return nil // already converted
+	}
+	if takenBiased {
+		op, ok := isa.LikelyOf(br.Op)
+		if !ok {
+			return fmt.Errorf("xform: %v has no likely form", br.Op)
+		}
+		br.Op = op
+		f.MustRebuildCFG()
+		return nil
+	}
+
+	// Fall-through biased: negate, retarget to the fall-through block,
+	// and park the old target behind an unconditional jump.
+	neg, ok := isa.Negate(br.Op)
+	if !ok {
+		return fmt.Errorf("xform: %v cannot be negated", br.Op)
+	}
+	op, ok := isa.LikelyOf(neg)
+	if !ok {
+		return fmt.Errorf("xform: %v has no likely form", neg)
+	}
+	if len(b.Succs) != 2 {
+		return fmt.Errorf("xform: %s has no fall-through successor", b.Name)
+	}
+	fall := b.Succs[1]
+	oldTarget := br.Label
+
+	trampoline := f.InsertBlockAfter(b, f.FreshBlockName(b.Name+".cold"))
+	trampoline.Instrs = []*isa.Instr{{Op: isa.J, Label: oldTarget}}
+
+	br.Op = op
+	br.Label = fall.Name
+	f.MustRebuildCFG()
+	return nil
+}

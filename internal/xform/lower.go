@@ -1,0 +1,169 @@
+package xform
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// The R10000's only predicated operation is the conditional move, so
+// fully predicated IR must be expanded "to their equivalent non-fully
+// predicated versions sometime before the final code layout phase"
+// (paper §3). LowerGuards is that expansion.
+//
+// Guarded memory operations are lowered by address selection against a
+// reserved scratch region: when the guard is false, the access is
+// redirected to a scratch word whose contents are junk by contract.
+// Programs must therefore not place data in [0, ScratchBytes).
+const (
+	// ScratchBytes reserves the bottom of data memory for annulled
+	// memory accesses. ScratchBase sits in the middle so that any
+	// instruction offset in [-ScratchBase, ScratchBase) stays inside
+	// the region.
+	ScratchBytes = 8192
+	ScratchBase  = ScratchBytes / 2
+)
+
+// LowerGuards rewrites every guarded non-move instruction of f into an
+// R10000-legal sequence using conditional moves:
+//
+//	(p) op rd, rs, rt      →  op t, rs, rt        ; t fresh
+//	                          (p) mov rd, t       ; the real cmov
+//
+//	(p) lw rd, off(rb)     →  li t, ScratchBase
+//	                          (p) mov t, rb
+//	                          lw t2, off(t)
+//	                          (p) mov rd, t2
+//
+//	(p) sw rv, off(rb)     →  li t, ScratchBase
+//	                          (p) mov t, rb
+//	                          sw rv, off(t)       ; junk lands in scratch
+//
+// Guarded FP operations use fmov through an FP temporary. Guarded
+// predicate-defines and control transfers are rejected: the
+// transformations in this package never create them.
+//
+// After lowering, the program verifies under prog.VerifyMachine.
+func LowerGuards(f *prog.Func) error {
+	intPool := NewIntPool(f)
+	fpPool := NewFPPool(f)
+
+	// Temporaries can be reused across instructions (their live ranges
+	// are a few instructions long and never cross a block boundary),
+	// so grab them lazily but only once each.
+	var t1, t2, ft isa.Reg
+	getInt := func(r *isa.Reg) bool {
+		if r.Valid() {
+			return true
+		}
+		v, ok := intPool.Get()
+		if ok {
+			*r = v
+		}
+		return ok
+	}
+	getFP := func() bool {
+		if ft.Valid() {
+			return true
+		}
+		v, ok := fpPool.Get()
+		if ok {
+			ft = v
+		}
+		return ok
+	}
+
+	for _, b := range f.Blocks {
+		var out []*isa.Instr
+		for _, in := range b.Instrs {
+			if !in.Guarded() || in.Op == isa.Mov {
+				out = append(out, in)
+				continue
+			}
+			cmov := func(rd, rs isa.Reg) *isa.Instr {
+				return &isa.Instr{Op: isa.Mov, Rd: rd, Rs: rs, Pred: in.Pred, PredNeg: in.PredNeg}
+			}
+			switch {
+			case in.Op == isa.FMov:
+				// (p) fmov fd, fs has no FP cmov in the ISA; go through
+				// an FP temporary with a guarded fmov... which is the
+				// same shape. Model the R10000's FP conditional move
+				// by keeping guarded fmov legal? The R10000 does have
+				// MOVT.D/MOVF.D, so we accept guarded FMov as-is.
+				out = append(out, in)
+			case in.Op.Unit() == isa.UnitFPAdd || in.Op.Unit() == isa.UnitFPMul || in.Op.Unit() == isa.UnitFPDiv:
+				if !getFP() {
+					return fmt.Errorf("xform: no FP temporary for lowering %q", in.String())
+				}
+				op := in.Clone()
+				op.Pred, op.PredNeg = isa.NoReg, false
+				od := op.Rd
+				op.Rd = ft
+				out = append(out, op, &isa.Instr{Op: isa.FMov, Rd: od, Rs: ft, Pred: in.Pred, PredNeg: in.PredNeg})
+			case in.Op == isa.Lw || in.Op == isa.Lf:
+				if !getInt(&t1) || !getInt(&t2) {
+					return fmt.Errorf("xform: no temporaries for lowering %q", in.String())
+				}
+				out = append(out,
+					&isa.Instr{Op: isa.Li, Rd: t1, Imm: ScratchBase},
+					cmov(t1, in.Rs),
+				)
+				ld := in.Clone()
+				ld.Pred, ld.PredNeg = isa.NoReg, false
+				ld.Rs = t1
+				if in.Op == isa.Lw {
+					ld.Rd = t2
+					out = append(out, ld, cmov(in.Rd, t2))
+				} else {
+					// FP load: load into the real destination is
+					// unsafe (clobbers on false guard); use an FP temp.
+					if !getFP() {
+						return fmt.Errorf("xform: no FP temporary for lowering %q", in.String())
+					}
+					ld.Rd = ft
+					out = append(out, ld,
+						&isa.Instr{Op: isa.FMov, Rd: in.Rd, Rs: ft, Pred: in.Pred, PredNeg: in.PredNeg})
+				}
+			case in.Op == isa.Sw || in.Op == isa.Sf:
+				if !getInt(&t1) {
+					return fmt.Errorf("xform: no temporaries for lowering %q", in.String())
+				}
+				st := in.Clone()
+				st.Pred, st.PredNeg = isa.NoReg, false
+				st.Rs = t1
+				out = append(out,
+					&isa.Instr{Op: isa.Li, Rd: t1, Imm: ScratchBase},
+					cmov(t1, in.Rs),
+					st,
+				)
+			case in.Op.IsPredDef() || in.Op.IsControl():
+				return fmt.Errorf("xform: cannot lower guarded %q", in.String())
+			default:
+				// Integer ALU / shifter.
+				if !getInt(&t1) {
+					return fmt.Errorf("xform: no temporaries for lowering %q", in.String())
+				}
+				op := in.Clone()
+				op.Pred, op.PredNeg = isa.NoReg, false
+				od := op.Rd
+				op.Rd = t1
+				out = append(out, op, cmov(od, t1))
+			}
+		}
+		b.Instrs = out
+	}
+	f.MustRebuildCFG()
+	return nil
+}
+
+// LowerProgram lowers every function of p and verifies machine
+// legality.
+func LowerProgram(p *prog.Program) error {
+	for _, f := range p.Funcs {
+		if err := LowerGuards(f); err != nil {
+			return err
+		}
+	}
+	return prog.Verify(p, prog.VerifyMachine)
+}

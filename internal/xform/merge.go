@@ -1,0 +1,68 @@
+package xform
+
+import (
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// MergeBlocks straightens the CFG: whenever a block ends with an
+// explicit jump to a block with no other predecessors, the two are
+// fused. If-conversion leaves exactly this shape behind (the converted
+// block jumps to the old join), and fusing realizes the paper's
+// "increases the effective basic block size" benefit — the local
+// scheduler then sees one region. Fall-through pairs are deliberately
+// left alone: fusing them would rename blocks out from under the
+// optimizer's candidate bookkeeping for no scheduling gain (they are
+// already contiguous).
+//
+// It iterates to a fixed point and returns the number of merges.
+func MergeBlocks(f *prog.Func) int {
+	merged := 0
+	for {
+		changed := false
+		for _, b := range f.Blocks {
+			if len(b.Succs) != 1 {
+				continue
+			}
+			s := b.Succs[0]
+			if s == b || len(s.Preds) != 1 || s == f.Entry() {
+				continue
+			}
+			t := b.Terminator()
+			if t == nil || t.Op != isa.J {
+				continue // fall-through, conditional or indirect: keep
+			}
+			// The successor's own exit must stay correct after the
+			// move: a block that relies on layout (fall-through or a
+			// conditional branch's not-taken edge) may only be
+			// absorbed by its layout predecessor — then it is fused in
+			// place and nothing shifts. A successor ending in an
+			// unconditional transfer can be absorbed from anywhere.
+			st := s.Terminator()
+			positionIndependent := st != nil && !st.Op.IsCondBranch()
+			if !positionIndependent && layoutNext(f, b) != s {
+				continue
+			}
+			// Drop the trailing jump, absorb the successor.
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+			b.Instrs = append(b.Instrs, s.Instrs...)
+			removeBlocks(f, s)
+			f.MustRebuildCFG()
+			merged++
+			changed = true
+			break // block list changed; restart the scan
+		}
+		if !changed {
+			return merged
+		}
+	}
+}
+
+// layoutNext returns the block after b in layout order, or nil.
+func layoutNext(f *prog.Func, b *prog.Block) *prog.Block {
+	i := f.Index(b)
+	if i < 0 || i+1 >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[i+1]
+}

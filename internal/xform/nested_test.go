@@ -1,0 +1,207 @@
+package xform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// nestedSrc is a two-level diamond: the outer branch selects between a
+// plain fall side and a taken side that itself contains a diamond —
+// compress's "several nested branches with minimal code interspersed"
+// shape.
+const nestedSrc = `
+func main:
+init:
+	li r1, %A
+	li r2, %B
+	li r3, %C
+	li r4, 10
+outer:
+	beq r1, r2, OT
+OF:
+	add r5, r4, 1
+	j J
+OT:
+	beq r2, r3, IT
+IF:
+	add r5, r4, 2
+	sub r6, r4, 1
+	j IJ
+IT:
+	add r5, r4, 3
+	xor r6, r4, r4
+IJ:
+	add r7, r5, r6
+J:
+	add r8, r5, 100
+	halt
+`
+
+func nestedProgram(a, b, c int64) *prog.Program {
+	src := strings.NewReplacer(
+		"%A", itoa(a), "%B", itoa(b), "%C", itoa(c),
+	).Replace(nestedSrc)
+	return asm.MustParse(src)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// convertNested if-converts the inner diamond then the outer one.
+func convertNested(t *testing.T, p *prog.Program) {
+	t.Helper()
+	f := p.Func("main")
+	pool := NewPredPool(f)
+	inner := MatchHammock(f, f.Block("OT"))
+	if inner == nil {
+		t.Fatal("inner hammock not matched")
+	}
+	if err := IfConvert(f, inner, pool); err != nil {
+		t.Fatal(err)
+	}
+	MergeBlocks(f)
+	outer := MatchHammock(f, f.Block("outer"))
+	if outer == nil {
+		t.Fatalf("outer hammock not matched after inner conversion:\n%s", f.String())
+	}
+	if err := IfConvert(f, outer, pool); err != nil {
+		t.Fatalf("outer if-convert: %v\n%s", err, f.String())
+	}
+}
+
+func TestNestedIfConversionStructure(t *testing.T) {
+	p := nestedProgram(1, 1, 1)
+	convertNested(t, p)
+	f := p.Func("main")
+
+	// All three branches are gone; one straight-line guarded block
+	// remains before the join.
+	for _, blk := range f.Blocks {
+		if blk.CondBranch() != nil {
+			t.Errorf("branch survived in %s", blk.Name)
+		}
+	}
+	text := p.String()
+	if !strings.Contains(text, "pand") {
+		t.Fatalf("nested conversion must compose predicates with pand:\n%s", text)
+	}
+	if !strings.Contains(text, "pnot") {
+		t.Fatalf("the negated outer sense needs pnot:\n%s", text)
+	}
+	if err := prog.Verify(p, prog.VerifyIR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedIfConversionSemanticsAllPaths(t *testing.T) {
+	// Drive all three paths: outer-false, outer-true+inner-false,
+	// outer-true+inner-true.
+	cases := [][3]int64{
+		{1, 2, 3}, // outer false
+		{1, 1, 3}, // outer true, inner false
+		{1, 1, 1}, // outer true, inner true
+	}
+	for _, c := range cases {
+		before := nestedProgram(c[0], c[1], c[2])
+		after := before.Clone()
+		convertNested(t, after)
+		mustSame(t, before, after, "nested if-conversion")
+
+		// And the lowered, machine-legal form.
+		lowered := before.Clone()
+		convertNested(t, lowered)
+		if err := LowerProgram(lowered); err != nil {
+			t.Fatalf("%v\n%s", err, lowered.String())
+		}
+		if err := prog.Verify(lowered, prog.VerifyMachine); err != nil {
+			t.Fatal(err)
+		}
+		mustSame(t, before, lowered, "nested if-conversion + lowering")
+	}
+}
+
+func TestNestedIfConversionPoolExhaustion(t *testing.T) {
+	p := nestedProgram(1, 1, 1)
+	f := p.Func("main")
+	pool := NewPredPool(f)
+	inner := MatchHammock(f, f.Block("OT"))
+	if err := IfConvert(f, inner, pool); err != nil {
+		t.Fatal(err)
+	}
+	MergeBlocks(f)
+	// Drain the pool: the outer conversion needs composites and must
+	// fail cleanly rather than emit broken guards.
+	for pool.Len() > 0 {
+		pool.Get()
+	}
+	outer := MatchHammock(f, f.Block("outer"))
+	if outer == nil {
+		t.Fatal("outer hammock missing")
+	}
+	if err := IfConvert(f, outer, pool); err == nil {
+		t.Fatal("expected predicate-pool exhaustion")
+	}
+}
+
+// Property: random values through the nested diamond, converted and
+// lowered, always match the original.
+func TestQuickNestedConversionSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		a, b, c := int64(rng.Intn(3)), int64(rng.Intn(3)), int64(rng.Intn(3))
+		before := nestedProgram(a, b, c)
+		after := before.Clone()
+		convertNested(t, after)
+		if err := LowerProgram(after); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mustSame(t, before, after, "nested conversion (random)")
+	}
+}
+
+// The composed guards must also survive the optimizer's speculation
+// pass and DCE without semantic drift.
+func TestNestedConversionThenDCE(t *testing.T) {
+	before := nestedProgram(1, 1, 2)
+	after := before.Clone()
+	convertNested(t, after)
+	EliminateDeadCode(after.Func("main"))
+	mustSame(t, before, after, "nested conversion + DCE")
+}
+
+func TestInstrPredDefStaysUnguarded(t *testing.T) {
+	p := nestedProgram(1, 1, 1)
+	convertNested(t, p)
+	for _, blk := range p.Func("main").Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op.IsPredDef() && in.Guarded() {
+				t.Fatalf("guarded predicate define emitted: %s", in.String())
+			}
+		}
+	}
+	_ = isa.PEq // document intent: peq/pand/pnot run unguarded
+}

@@ -1,0 +1,129 @@
+package xform
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+// PeriodicPlan is a counter-expressible rendering of a cyclic outcome
+// pattern: after rotating the occurrence index by Rotation slots, the
+// branch is taken on slots [0, TakenRun) of every period. Patterns
+// whose taken slots do not form a contiguous run (under any rotation)
+// are not expressible with one comparison and are rejected — the
+// paper's "if the toggle patterns are complex enough … the branch is
+// not considered as a candidate for splitting".
+type PeriodicPlan struct {
+	Period   int
+	TakenRun int
+	Rotation int
+}
+
+// PlanPeriodic converts a detected periodicity into a counter plan,
+// or ok=false when the pattern is not a rotated contiguous run.
+func PlanPeriodic(per profile.Periodicity) (PeriodicPlan, bool) {
+	p := per.Period
+	taken := 0
+	for _, t := range per.Pattern {
+		if t {
+			taken++
+		}
+	}
+	if taken == 0 || taken == p {
+		return PeriodicPlan{}, false // constant: monotonic, not periodic
+	}
+	for rot := 0; rot < p; rot++ {
+		run := true
+		for s := 0; s < p; s++ {
+			want := s < taken
+			if per.Pattern[(s+rot)%p] != want {
+				run = false
+				break
+			}
+		}
+		if run {
+			return PeriodicPlan{Period: p, TakenRun: taken, Rotation: rot}, true
+		}
+	}
+	return PeriodicPlan{}, false
+}
+
+// SplitBranchPeriodic specializes hammock h for a cyclic branch
+// pattern: a modular counter j tracks the occurrence slot within the
+// period, and dispatch routes slots inside the taken run to a
+// taken-likely version of the region and the remaining slots to a
+// not-taken-likely version. There is no residual phase — the whole
+// period is covered by the two biased versions; the original branch
+// block keeps only the dispatch. The modular counter wraps with a
+// guarded move (a machine-legal conditional move from r0):
+//
+//	add j, j, 1
+//	peq pw, j, PERIOD
+//	(pw) mov j, r0
+//	plt pt, j, TAKENRUN
+//	bp  pt, <taken-likely version>
+//	j   <not-taken-likely version>
+func SplitBranchPeriodic(f *prog.Func, h *Hammock, plan PeriodicPlan, intPool, predPool *RegPool) (*SplitResult, error) {
+	if plan.Period < 2 || plan.TakenRun <= 0 || plan.TakenRun >= plan.Period {
+		return nil, fmt.Errorf("xform: bad periodic plan %+v", plan)
+	}
+	br := h.Branch()
+	if br.Op.IsLikely() {
+		return nil, fmt.Errorf("xform: %s already branch-likely", h.B.Name)
+	}
+	if _, ok := isa.Negate(br.Op); !ok {
+		return nil, fmt.Errorf("xform: %v not splittable", br.Op)
+	}
+	entry := f.Entry()
+	if entry == h.B || len(entry.Preds) != 0 {
+		return nil, fmt.Errorf("xform: function entry must dominate the split branch exactly once for counter initialization")
+	}
+
+	counter, ok := intPool.Get()
+	if !ok {
+		return nil, fmt.Errorf("xform: no integer register for the periodic counter")
+	}
+	pWrap, ok := predPool.Get()
+	if !ok {
+		return nil, fmt.Errorf("xform: no predicate register for counter wrap")
+	}
+	pTaken, ok := predPool.Get()
+	if !ok {
+		return nil, fmt.Errorf("xform: no predicate register for periodic dispatch")
+	}
+
+	// Occurrence k must see the rotated slot j(k) = (k − Rotation) mod
+	// Period, so that "j < TakenRun" reproduces the pattern. With the
+	// increment running before the compare, the counter starts at
+	// j(0) − 1.
+	init := int64((plan.Period-plan.Rotation)%plan.Period) - 1
+	entry.Instrs = append([]*isa.Instr{{Op: isa.Li, Rd: counter, Imm: init}}, entry.Instrs...)
+
+	takenV, err := buildVersion(f, h, Phase{Lo: 0, Hi: PhaseEnd, Class: profile.SegTaken})
+	if err != nil {
+		return nil, err
+	}
+	fallV, err := buildVersion(f, h, Phase{Lo: 0, Hi: PhaseEnd, Class: profile.SegNotTaken})
+	if err != nil {
+		return nil, err
+	}
+
+	// The body lives in the version copies; h.B keeps only the counter
+	// machinery and the dispatch.
+	h.B.Instrs = []*isa.Instr{
+		{Op: isa.Add, Rd: counter, Rs: counter, Imm: 1},
+		{Op: isa.PEq, Rd: pWrap, Rs: counter, Imm: int64(plan.Period)},
+		{Op: isa.Mov, Rd: counter, Rs: isa.R(0), Pred: pWrap},
+		{Op: isa.PLt, Rd: pTaken, Rs: counter, Imm: int64(plan.TakenRun)},
+		{Op: isa.Bp, Rs: pTaken, Label: takenV.Entry.Name},
+	}
+	// Slots outside the taken run fall through to a jump into the
+	// not-taken-likely version.
+	d := f.InsertBlockAfter(h.B, f.FreshBlockName(h.B.Name+".d"))
+	d.Instrs = []*isa.Instr{{Op: isa.J, Label: fallV.Entry.Name}}
+
+	f.MustRebuildCFG()
+	return &SplitResult{Counter: counter, Versions: []Version{takenV, fallV}}, nil
+}

@@ -1,0 +1,99 @@
+package xform
+
+import (
+	"specguard/internal/isa"
+	"specguard/internal/machine"
+	"specguard/internal/prog"
+	"specguard/internal/sched"
+)
+
+// Sink implements the paper's downward code duplication ("two
+// operations are copied from B4 to B2 and B3 respectively", Fig. 2(c)):
+// instructions are moved from the top of join into every predecessor,
+// when
+//
+//   - every predecessor transfers to join unconditionally (an ending
+//     jump to join or a pure fall-through), so the duplicated copy
+//     executes exactly once per original execution;
+//   - the instruction's sources are not produced by an earlier
+//     instruction that stays in join;
+//   - no predecessor's schedule lengthens (the copies ride in vacant
+//     issue slots) and join's schedule shortens — the conservative
+//     profitable-only policy.
+//
+// It returns the number of instructions sunk. Guarded instructions,
+// control transfers and predicate defines stay put; memory operations
+// move freely (they still execute exactly once, in the same order
+// relative to each path's accesses).
+func Sink(f *prog.Func, join *prog.Block, m *machine.Model) int {
+	if len(join.Preds) == 0 {
+		return 0
+	}
+	for _, p := range join.Preds {
+		if p == join {
+			return 0 // self-loop: sinking would re-execute per iteration
+		}
+		if len(p.Succs) != 1 || p.Succs[0] != join {
+			return 0 // conditional entry: the copy would run on a wrong path
+		}
+	}
+
+	sunk := 0
+	for {
+		if len(join.Instrs) == 0 {
+			break
+		}
+		in := join.Instrs[0]
+		if !sinkable(in) {
+			break
+		}
+		joinBefore := sched.Length(join.Instrs, m)
+		joinAfter := sched.Length(join.Instrs[1:], m)
+		if joinAfter >= joinBefore {
+			break // not on the critical path: duplication buys nothing
+		}
+		fits := true
+		for _, p := range join.Preds {
+			before := sched.Length(p.Instrs, m)
+			trial := withBeforeTerminator(p.Instrs, in)
+			if sched.Length(trial, m) > before {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			break
+		}
+		for _, p := range join.Preds {
+			insertBeforeTerminator(p, in.Clone())
+		}
+		join.Instrs = join.Instrs[1:]
+		sunk++
+	}
+	if sunk > 0 {
+		f.MustRebuildCFG()
+	}
+	return sunk
+}
+
+// sinkable reports whether in may be duplicated into predecessors.
+func sinkable(in *isa.Instr) bool {
+	if in.Guarded() || in.Op.IsControl() || in.Op.IsPredDef() || in.Op == isa.Nop {
+		return false
+	}
+	return true
+}
+
+// withBeforeTerminator returns ins with extra inserted before the
+// terminator, without mutating ins.
+func withBeforeTerminator(ins []*isa.Instr, extra *isa.Instr) []*isa.Instr {
+	cut := len(ins)
+	if cut > 0 && ins[cut-1].Op.IsControl() {
+		cut--
+	}
+	out := make([]*isa.Instr, 0, len(ins)+1)
+	out = append(out, ins[:cut]...)
+	out = append(out, extra)
+	out = append(out, ins[cut:]...)
+	return out
+}

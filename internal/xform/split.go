@@ -1,0 +1,358 @@
+package xform
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+// Phase is one section of a branch's occurrence space, [Lo, Hi).
+// Hi == PhaseEnd marks the final open-ended phase.
+type Phase struct {
+	Lo, Hi int64
+	Class  profile.SegClass
+}
+
+// PhaseEnd is the Hi bound of the last phase.
+const PhaseEnd = int64(1) << 62
+
+// PhasesFromSegments converts a profile segmentation into dispatch
+// phases (the final segment becomes open-ended so late iterations
+// beyond the profiled trip count stay covered).
+func PhasesFromSegments(segs []profile.Segment) []Phase {
+	phases := make([]Phase, len(segs))
+	for i, s := range segs {
+		phases[i] = Phase{Lo: int64(s.Start), Hi: int64(s.End), Class: s.Class}
+	}
+	if len(phases) > 0 {
+		phases[len(phases)-1].Hi = PhaseEnd
+	}
+	return phases
+}
+
+// Version is one phase-specialized copy of the conditional region.
+type Version struct {
+	Phase Phase
+	// Entry holds the phase's branch; Taken and Fall are this
+	// version's private side-block copies (nil where the original
+	// hammock had none). The optimizer applies per-phase speculation
+	// to these blocks afterwards (Fig. 3's different code motions).
+	Entry, Taken, Fall *prog.Block
+}
+
+// SplitResult reports what SplitBranch built.
+type SplitResult struct {
+	Counter  isa.Reg
+	Versions []Version
+	// Residual is the block holding the original (2-bit predicted)
+	// branch, reached by occurrences in mixed phases.
+	Residual *prog.Block
+}
+
+// SplitBranch applies the paper's split-branch transformation to
+// hammock h, whose branch has the given profile phases. The branch's
+// occurrence space is steered by a counter:
+//
+//   - a counter register is initialized to -1 at function entry and
+//     incremented just before the dispatch predicates, so it equals
+//     the current occurrence index of the branch (Fig. 7's "i");
+//   - for every biased phase, dispatch code computes a phase predicate
+//     (plt/pge/pand over the counter, Fig. 7's p2/p3) and a predicate
+//     branch routes control to a phase-specialized copy of the region
+//     in which the data branch is a branch-likely (taken-biased
+//     phases) or a negated branch-likely (not-taken-biased phases) —
+//     so the predictable sections run on static prediction with no
+//     BTB entries;
+//   - occurrences in mixed phases fall through to the residual copy of
+//     the original branch, which keeps using its 2-bit counter — now
+//     trained only by the anomalous section, so "portion of traces
+//     where branch behavior are predictable are never compromised".
+//
+// Deviation from Fig. 7 noted in DESIGN.md: Fig. 7 fuses the data
+// condition into the dispatch ("if (p1 && p2) branch-likely L1"); we
+// dispatch on the phase predicate alone (a monotonic step function the
+// 2-bit predictor tracks almost perfectly) and keep the likely
+// instruction inside the version, which avoids charging every
+// anomalous-phase occurrence with mispredicted likely branches.
+//
+// Requirements: h must sit inside a loop whose branch executes many
+// times, phases must be sorted and disjoint with at least one biased
+// phase, and enough integer/predicate registers must be free.
+func SplitBranch(f *prog.Func, h *Hammock, phases []Phase, intPool, predPool *RegPool) (*SplitResult, error) {
+	if err := validatePhases(phases); err != nil {
+		return nil, err
+	}
+	br := h.Branch()
+	if br.Op.IsLikely() {
+		return nil, fmt.Errorf("xform: %s already branch-likely", h.B.Name)
+	}
+	if _, ok := isa.Negate(br.Op); !ok {
+		return nil, fmt.Errorf("xform: %v not splittable (needs a negatable comparison)", br.Op)
+	}
+
+	entry := f.Entry()
+	if entry == h.B || len(entry.Preds) != 0 {
+		return nil, fmt.Errorf("xform: function entry must dominate the split branch exactly once for counter initialization")
+	}
+
+	counter, ok := intPool.Get()
+	if !ok {
+		return nil, fmt.Errorf("xform: no integer register for the split counter")
+	}
+
+	res := &SplitResult{Counter: counter}
+
+	// Counter init at function entry: occurrence index semantics match
+	// the profile's global occurrence counts.
+	entry.Instrs = append([]*isa.Instr{{Op: isa.Li, Rd: counter, Imm: -1}}, entry.Instrs...)
+
+	// Build the version copies first (appended at the end of layout).
+	var versions []Version
+	for _, ph := range phases {
+		if ph.Class == profile.SegMixed {
+			continue
+		}
+		v, err := buildVersion(f, h, ph)
+		if err != nil {
+			return nil, err
+		}
+		versions = append(versions, v)
+	}
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("xform: no biased phase to split on")
+	}
+	res.Versions = versions
+
+	// Restructure: the body and the original branch move to a residual
+	// block (the mixed-phase version, keeping its private 2-bit
+	// history), and h.B keeps only the counter increment plus the
+	// dispatch chain.
+	residual := f.InsertBlockAfter(h.B, f.FreshBlockName(h.B.Name+".res"))
+	residual.Instrs = append(append([]*isa.Instr{}, h.B.Body()...), br)
+	res.Residual = residual
+
+	body := []*isa.Instr{{Op: isa.Add, Rd: counter, Rs: counter, Imm: 1}}
+
+	// Dispatch blocks chain by fall-through into the residual.
+	cur := h.B
+	curInstrs := body
+	for i, v := range versions {
+		pd, perr := phasePredicate(&curInstrs, counter, v.Phase, predPool)
+		if perr != nil {
+			return nil, perr
+		}
+		curInstrs = append(curInstrs, &isa.Instr{Op: isa.Bp, Rs: pd, Label: v.Entry.Name})
+		cur.Instrs = curInstrs
+		if i < len(versions)-1 {
+			next := f.InsertBlockAfter(cur, f.FreshBlockName(h.B.Name+".d"))
+			cur = next
+			curInstrs = nil
+		}
+	}
+
+	f.MustRebuildCFG()
+	return res, nil
+}
+
+// validatePhases checks ordering and coverage.
+func validatePhases(phases []Phase) error {
+	if len(phases) < 2 {
+		return fmt.Errorf("xform: need at least two phases to split, got %d", len(phases))
+	}
+	if phases[0].Lo != 0 {
+		return fmt.Errorf("xform: phases must start at occurrence 0")
+	}
+	for i := range phases {
+		if phases[i].Hi <= phases[i].Lo {
+			return fmt.Errorf("xform: empty phase %d", i)
+		}
+		if i > 0 && phases[i].Lo != phases[i-1].Hi {
+			return fmt.Errorf("xform: phases must be contiguous")
+		}
+	}
+	if phases[len(phases)-1].Hi != PhaseEnd {
+		return fmt.Errorf("xform: final phase must be open-ended (PhaseEnd)")
+	}
+	return nil
+}
+
+// phasePredicate appends predicate computations for ph over the
+// counter and returns the predicate register that is true during ph.
+func phasePredicate(ins *[]*isa.Instr, counter isa.Reg, ph Phase, pool *RegPool) (isa.Reg, error) {
+	get := func() (isa.Reg, error) {
+		r, ok := pool.Get()
+		if !ok {
+			return isa.NoReg, fmt.Errorf("xform: no predicate registers left for split dispatch")
+		}
+		return r, nil
+	}
+	switch {
+	case ph.Lo == 0:
+		p, err := get()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		*ins = append(*ins, &isa.Instr{Op: isa.PLt, Rd: p, Rs: counter, Imm: ph.Hi})
+		return p, nil
+	case ph.Hi == PhaseEnd:
+		p, err := get()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		*ins = append(*ins, &isa.Instr{Op: isa.PGe, Rd: p, Rs: counter, Imm: ph.Lo})
+		return p, nil
+	default:
+		pLo, err := get()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		pHi, err := get()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		pBoth, err := get()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		*ins = append(*ins,
+			&isa.Instr{Op: isa.PGe, Rd: pLo, Rs: counter, Imm: ph.Lo},
+			&isa.Instr{Op: isa.PLt, Rd: pHi, Rs: counter, Imm: ph.Hi},
+			&isa.Instr{Op: isa.PAnd, Rd: pBoth, Rs: pLo, Rt: pHi},
+		)
+		return pBoth, nil
+	}
+}
+
+// buildVersion appends a phase-specialized copy of the whole hammock
+// region at the end of f's layout and returns it: the version entry
+// holds a private copy of the branch block's body followed by the
+// phase's branch-likely, and the sides are private copies too — each
+// phase gets its own complete schedule (the I/II/III boxes of the
+// paper's Fig. 5), so per-phase speculation can later restructure each
+// copy independently.
+func buildVersion(f *prog.Func, h *Hammock, ph Phase) (Version, error) {
+	br := h.Branch()
+	v := Version{Phase: ph}
+	base := fmt.Sprintf("%s.v%d", h.B.Name, ph.Lo)
+
+	takenLabel := h.Join.Name
+	if h.Taken != nil {
+		takenLabel = "" // filled below once the copy exists
+	}
+	fallLabel := h.Join.Name
+	if h.Fall != nil {
+		fallLabel = ""
+	}
+
+	// Copy side blocks first so labels exist.
+	copyBlock := func(src *prog.Block, name string) *prog.Block {
+		nb := f.AddBlock(name)
+		for _, in := range src.Instrs {
+			if in.Op == isa.J {
+				continue
+			}
+			nb.Instrs = append(nb.Instrs, in.Clone())
+		}
+		nb.Instrs = append(nb.Instrs, &isa.Instr{Op: isa.J, Label: h.Join.Name})
+		return nb
+	}
+	bodyCopy := func() []*isa.Instr {
+		var out []*isa.Instr
+		for _, in := range h.B.Body() {
+			out = append(out, in.Clone())
+		}
+		return out
+	}
+
+	entryBlock := f.AddBlock(f.FreshBlockName(base))
+	v.Entry = entryBlock
+
+	if ph.Class == profile.SegTaken {
+		// Likely branch to the taken side; fall-through to the fall side.
+		if h.Fall != nil {
+			v.Fall = copyBlock(h.Fall, f.FreshBlockName(base+".f"))
+		}
+		if h.Taken != nil {
+			v.Taken = copyBlock(h.Taken, f.FreshBlockName(base+".t"))
+			takenLabel = v.Taken.Name
+		}
+		op, _ := isa.LikelyOf(br.Op)
+		entryBlock.Instrs = append(bodyCopy(),
+			&isa.Instr{Op: op, Rs: br.Rs, Rt: br.Rt, Imm: br.Imm, Label: takenLabel})
+		// Layout after entry: the fall copy (fall-through), then the
+		// taken copy. With no fall side, fall through to a join jump.
+		if v.Fall != nil {
+			moveAfter(f, v.Fall, entryBlock)
+		} else {
+			tr := f.InsertBlockAfter(entryBlock, f.FreshBlockName(base+".j"))
+			tr.Instrs = []*isa.Instr{{Op: isa.J, Label: fallLabelOr(h)}}
+		}
+		if v.Taken != nil {
+			moveToEnd(f, v.Taken)
+		}
+	} else {
+		// Not-taken biased: negate and make likely, targeting the fall
+		// side; fall-through to the taken side.
+		neg, _ := isa.Negate(br.Op)
+		op, _ := isa.LikelyOf(neg)
+		if h.Taken != nil {
+			v.Taken = copyBlock(h.Taken, f.FreshBlockName(base+".t"))
+			takenLabel = v.Taken.Name
+		}
+		if h.Fall != nil {
+			v.Fall = copyBlock(h.Fall, f.FreshBlockName(base+".f"))
+			fallLabel = v.Fall.Name
+		}
+		entryBlock.Instrs = append(bodyCopy(),
+			&isa.Instr{Op: op, Rs: br.Rs, Rt: br.Rt, Imm: br.Imm, Label: fallLabel})
+		if v.Taken != nil {
+			moveAfter(f, v.Taken, entryBlock)
+		} else {
+			tr := f.InsertBlockAfter(entryBlock, f.FreshBlockName(base+".j"))
+			tr.Instrs = []*isa.Instr{{Op: isa.J, Label: h.Join.Name}}
+		}
+		if v.Fall != nil {
+			moveToEnd(f, v.Fall)
+		}
+	}
+	return v, nil
+}
+
+// fallLabelOr returns where a taken-biased version's rare path goes
+// when the hammock has no fall block: the join.
+func fallLabelOr(h *Hammock) string {
+	if h.Fall != nil {
+		return h.Fall.Name
+	}
+	return h.Join.Name
+}
+
+// moveAfter relocates block b to immediately follow pos in layout.
+func moveAfter(f *prog.Func, b, pos *prog.Block) {
+	removeFromLayout(f, b)
+	for i, blk := range f.Blocks {
+		if blk == pos {
+			f.Blocks = append(f.Blocks[:i+1], append([]*prog.Block{b}, f.Blocks[i+1:]...)...)
+			return
+		}
+	}
+	panic("xform: moveAfter position missing")
+}
+
+// moveToEnd relocates block b to the end of layout.
+func moveToEnd(f *prog.Func, b *prog.Block) {
+	removeFromLayout(f, b)
+	f.Blocks = append(f.Blocks, b)
+}
+
+func removeFromLayout(f *prog.Func, b *prog.Block) {
+	for i, blk := range f.Blocks {
+		if blk == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+	panic("xform: block missing from layout")
+}

@@ -1,0 +1,972 @@
+package xform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+	"specguard/internal/isa"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+)
+
+// finalState runs p and returns the integer register file at halt.
+func finalState(t *testing.T, p *prog.Program) [isa.NumIntRegs]int64 {
+	t.Helper()
+	m, err := interp.New(p, nil, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, p.String())
+	}
+	res, err := m.Run(nil)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, p.String())
+	}
+	return res.FinalStateR
+}
+
+// observableIntRegs returns the integer registers the original program
+// mentions — transforms are free to clobber registers the program never
+// touches (that is what the rename pools hand out).
+func observableIntRegs(p *prog.Program) []isa.Reg {
+	seen := map[isa.Reg]bool{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, r := range in.Defs() {
+					seen[r] = true
+				}
+				for _, r := range in.Uses() {
+					seen[r] = true
+				}
+			}
+		}
+	}
+	var regs []isa.Reg
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if seen[isa.R(i)] {
+			regs = append(regs, isa.R(i))
+		}
+	}
+	return regs
+}
+
+// mustSame asserts two programs compute identical values in every
+// register the original (before) program mentions.
+func mustSame(t *testing.T, before, after *prog.Program, label string) {
+	t.Helper()
+	a := finalState(t, before)
+	b := finalState(t, after)
+	for _, r := range observableIntRegs(before) {
+		if a[r.Index()] != b[r.Index()] {
+			t.Fatalf("%s changed semantics at %v: %d vs %d\n--- before\n%s\n--- after\n%s",
+				label, r, a[r.Index()], b[r.Index()], before.String(), after.String())
+		}
+	}
+}
+
+// ---------- Speculate ----------
+
+// Figure 1 of the paper, as assembly. B1 branches on r1==r2; the
+// fall-through path computes sub r6,r3,1 whose r6 is live on the other
+// path too, forcing the rename + copy + forward substitution.
+const fig1 = `
+func main:
+init:
+	li r1, 1
+	li r2, 2
+	li r3, 10
+	li r4, 100
+	li r6, 555
+B1:
+	beq r1, r2, L1
+B2:
+	sub r6, r3, 1
+	add r8, r6, r4
+	j L2
+L1:
+	add r7, r6, r4
+L2:
+	add r9, r6, 0
+	halt
+`
+
+func TestSpeculateFig1RenamesAndSubstitutes(t *testing.T) {
+	before := asm.MustParse(fig1)
+	after := before.Clone()
+	f := after.Func("main")
+	b1, b2 := f.Block("B1"), f.Block("B2")
+	pool := NewIntPool(f)
+	n, err := Speculate(f, b1, b2, pool, SpecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("hoisted %d, want 2 (sub and add)", n)
+	}
+	// The hoisted sub's destination r6 is live on the taken path (L1
+	// uses it), so it must have been renamed, with a copy left behind.
+	var foundCopy, foundSpecSub bool
+	for _, in := range b1.Instrs {
+		if in.Op == isa.Sub && in.Speculated {
+			foundSpecSub = true
+			if in.Rd == isa.R(6) {
+				t.Error("speculated sub must write a renamed register, not r6")
+			}
+		}
+	}
+	for _, in := range b2.Instrs {
+		if in.Op == isa.Mov && in.Rd == isa.R(6) {
+			foundCopy = true
+		}
+	}
+	if !foundSpecSub {
+		t.Error("sub not speculated into B1")
+	}
+	if !foundCopy {
+		t.Error("copy mov r6, <renamed> not inserted in B2")
+	}
+	// add r8 was hoisted too and must read the renamed register
+	// (forward substitution applied to the hoisted consumer).
+	for _, in := range b1.Instrs {
+		if in.Op == isa.Add && in.Rd == isa.R(8) && in.Rs == isa.R(6) {
+			t.Error("hoisted consumer still reads r6; must read the renamed register")
+		}
+	}
+	if err := prog.Verify(after, prog.VerifyIR); err != nil {
+		t.Fatalf("verify: %v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "Speculate")
+}
+
+func TestSpeculateRefusesIllegalShapes(t *testing.T) {
+	p := asm.MustParse(fig1)
+	f := p.Func("main")
+	pool := NewIntPool(f)
+	// L2 has two predecessors: hoisting from it would execute its code
+	// on foreign paths.
+	if _, err := Speculate(f, f.Block("B2"), f.Block("L2"), pool, SpecOptions{}); err == nil {
+		t.Error("expected error hoisting a multi-pred block")
+	}
+	// L1 is not a successor of B2.
+	if _, err := Speculate(f, f.Block("B2"), f.Block("L1"), pool, SpecOptions{}); err == nil {
+		t.Error("expected error for non-successor")
+	}
+}
+
+func TestSpeculateSkipsStoresAndRespectsLoadOption(t *testing.T) {
+	src := `
+func main:
+init:
+	li r1, 0
+	li r2, 1
+	li r5, 9000
+B1:
+	beq r1, r2, L1
+B2:
+	sw r2, 0(r5)
+	lw r3, 8(r5)
+	add r4, r2, 7
+L1:
+	halt
+`
+	p := asm.MustParse(src)
+	f := p.Func("main")
+	n, err := Speculate(f, f.Block("B1"), f.Block("B2"), NewIntPool(f), SpecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the add is eligible: the store never, the load follows a
+	// store (and Loads is off anyway).
+	if n != 1 {
+		t.Fatalf("hoisted %d, want 1\n%s", n, f.String())
+	}
+	p2 := asm.MustParse(src)
+	f2 := p2.Func("main")
+	n2, err := Speculate(f2, f2.Block("B1"), f2.Block("B2"), NewIntPool(f2), SpecOptions{Loads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load still may not cross the store above it.
+	if n2 != 1 {
+		t.Fatalf("with Loads: hoisted %d, want 1", n2)
+	}
+}
+
+func TestSpeculateLoadHoisting(t *testing.T) {
+	src := `
+func main:
+init:
+	li r1, 0
+	li r2, 1
+	li r5, 9000
+B1:
+	beq r1, r2, L1
+B2:
+	lw r3, 8(r5)
+	add r4, r3, 7
+L1:
+	halt
+`
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	n, err := Speculate(f, f.Block("B1"), f.Block("B2"), NewIntPool(f), SpecOptions{Loads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("hoisted %d, want 2", n)
+	}
+	mustSame(t, before, after, "Speculate loads")
+}
+
+func TestSpeculateMaxBound(t *testing.T) {
+	p := asm.MustParse(fig1)
+	f := p.Func("main")
+	n, err := Speculate(f, f.Block("B1"), f.Block("B2"), NewIntPool(f), SpecOptions{Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("hoisted %d, want 1 (Max)", n)
+	}
+}
+
+func TestForwardSubstitute(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+B0:
+	li r9, 5
+	mov r6, r9
+	add r8, r6, r6
+	li r6, 0
+	add r7, r6, 1
+	halt
+`)
+	b := p.Func("main").Block("B0")
+	n := ForwardSubstitute(b, 1)
+	if n != 2 {
+		t.Fatalf("substituted %d operands, want 2", n)
+	}
+	add := b.Instrs[2]
+	if add.Rs != isa.R(9) || add.Rt != isa.R(9) {
+		t.Errorf("uses not substituted: %s", add.String())
+	}
+	// Substitution must stop at the redefinition of r6.
+	if b.Instrs[4].Rs != isa.R(6) {
+		t.Error("substitution crossed a redefinition")
+	}
+}
+
+// ---------- IfConvert / LowerGuards ----------
+
+const diamondSrc = `
+func main:
+init:
+	li r1, 7
+	li r2, 7
+	li r3, 1
+	li r4, 2
+B1:
+	beq r1, r2, T
+F:
+	add r5, r3, r4
+	sub r6, r3, r4
+	j J
+T:
+	add r5, r4, r4
+	add r6, r3, r3
+J:
+	add r7, r5, r6
+	halt
+`
+
+func TestIfConvertDiamond(t *testing.T) {
+	before := asm.MustParse(diamondSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("B1"))
+	if h == nil {
+		t.Fatal("hammock not matched")
+	}
+	if h.Taken.Name != "T" || h.Fall.Name != "F" || h.Join.Name != "J" {
+		t.Fatalf("hammock = %s/%s/%s", h.Taken.Name, h.Fall.Name, h.Join.Name)
+	}
+	if err := IfConvert(f, h, NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	// Branch gone, sides folded, guards complementary.
+	if f.Block("B1").CondBranch() != nil {
+		t.Error("conditional branch survived if-conversion")
+	}
+	if f.Block("T") != nil || f.Block("F") != nil {
+		t.Error("side blocks must be removed")
+	}
+	var guardedPos, guardedNeg int
+	for _, in := range f.Block("B1").Instrs {
+		if in.Guarded() {
+			if in.PredNeg {
+				guardedNeg++
+			} else {
+				guardedPos++
+			}
+		}
+	}
+	if guardedPos != 2 || guardedNeg != 2 {
+		t.Errorf("guarded pos/neg = %d/%d, want 2/2", guardedPos, guardedNeg)
+	}
+	if err := prog.Verify(after, prog.VerifyIR); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before, after, "IfConvert (taken path)")
+
+	// Also check the fall path by flipping the comparison inputs.
+	before2 := asm.MustParse(strings.Replace(diamondSrc, "li r2, 7", "li r2, 8", 1))
+	after2 := before2.Clone()
+	f2 := after2.Func("main")
+	if err := IfConvert(f2, MatchHammock(f2, f2.Block("B1")), NewPredPool(f2)); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before2, after2, "IfConvert (fall path)")
+}
+
+func TestIfConvertTriangles(t *testing.T) {
+	// Triangle with only a fall block: branch skips it.
+	src := `
+func main:
+init:
+	li r1, 3
+	li r2, 4
+B1:
+	beq r1, r2, J
+F:
+	add r5, r1, r2
+J:
+	add r7, r5, 1
+	halt
+`
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("B1"))
+	if h == nil || h.Taken != nil || h.Fall == nil {
+		t.Fatalf("triangle not matched: %+v", h)
+	}
+	if err := IfConvert(f, h, NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before, after, "IfConvert triangle")
+
+	// The guarded add must run under (!p): it executes when not taken.
+	var negGuard bool
+	for _, in := range f.Block("B1").Instrs {
+		if in.Guarded() && in.PredNeg && in.Op == isa.Add {
+			negGuard = true
+		}
+	}
+	if !negGuard {
+		t.Error("fall-side op must be guarded with the negated predicate")
+	}
+}
+
+func TestMatchHammockRejections(t *testing.T) {
+	// Side block with a call: not convertible.
+	src := `
+func main:
+init:
+	li r1, 1
+B1:
+	beq r1, r1, T
+F:
+	call helper
+T:
+	halt
+func helper:
+h:
+	ret
+`
+	p := asm.MustParse(src)
+	f := p.Func("main")
+	if h := MatchHammock(f, f.Block("B1")); h != nil {
+		t.Error("call-bearing side must not match")
+	}
+	if h := MatchHammock(f, f.Block("init")); h != nil {
+		t.Error("non-branch block must not match")
+	}
+}
+
+func TestGuardedCost(t *testing.T) {
+	p := asm.MustParse(diamondSrc)
+	f := p.Func("main")
+	h := MatchHammock(f, f.Block("B1"))
+	// 2 taken ops + 2 fall ops (jump excluded) + 1 pdef = 5.
+	if got := GuardedCost(h); got != 5 {
+		t.Errorf("GuardedCost = %d, want 5", got)
+	}
+}
+
+func TestLowerGuardsALU(t *testing.T) {
+	before := asm.MustParse(diamondSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	if err := IfConvert(f, MatchHammock(f, f.Block("B1")), NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LowerProgram(after); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(after, prog.VerifyMachine); err != nil {
+		t.Fatalf("lowered program not machine-legal: %v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "IfConvert+LowerGuards")
+}
+
+func TestLowerGuardsMemoryOps(t *testing.T) {
+	// Guarded load and store, lowered through the scratch region.
+	// Data lives above ScratchBytes by contract.
+	src := `
+func main:
+init:
+	li r1, 1
+	li r2, 2
+	li r5, 9000
+	li r6, 4242
+	sw r6, 0(r5)
+B1:
+	beq r1, r2, J
+F:
+	lw r3, 0(r5)
+	sw r3, 8(r5)
+J:
+	add r9, r3, 0
+	halt
+`
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("B1"))
+	if h == nil {
+		t.Fatal("hammock not matched")
+	}
+	if err := IfConvert(f, h, NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LowerProgram(after); err != nil {
+		t.Fatalf("%v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "guarded memory lowering (annulled path)")
+
+	// Taken=false means the guarded ops execute; also test the branch
+	// actually annulling them.
+	srcExec := strings.Replace(src, "li r2, 2", "li r2, 1", 1)
+	before2 := asm.MustParse(srcExec)
+	after2 := before2.Clone()
+	f2 := after2.Func("main")
+	if err := IfConvert(f2, MatchHammock(f2, f2.Block("B1")), NewPredPool(f2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LowerProgram(after2); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before2, after2, "guarded memory lowering (executed path)")
+}
+
+func TestLowerGuardsRejectsGuardedControl(t *testing.T) {
+	f := prog.NewFunc("main")
+	b := f.AddBlock("B0")
+	b.Instrs = []*isa.Instr{
+		{Op: isa.PEq, Rd: isa.P(1), Rs: isa.R(1), Rt: isa.R(2)},
+		{Op: isa.PNe, Rd: isa.P(2), Rs: isa.R(1), Imm: 0, Pred: isa.P(1)},
+		{Op: isa.Halt},
+	}
+	f.MustRebuildCFG()
+	if err := LowerGuards(f); err == nil {
+		t.Error("guarded predicate-define must be rejected")
+	}
+}
+
+// ---------- MakeLikely ----------
+
+func TestMakeLikelyTakenBiased(t *testing.T) {
+	before := asm.MustParse(diamondSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	if err := MakeLikely(f, f.Block("B1"), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Block("B1").CondBranch().Op; got != isa.Beql {
+		t.Fatalf("op = %v, want beql", got)
+	}
+	mustSame(t, before, after, "MakeLikely taken")
+	// Idempotent.
+	if err := MakeLikely(f, f.Block("B1"), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeLikelyFallBiased(t *testing.T) {
+	before := asm.MustParse(diamondSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	if err := MakeLikely(f, f.Block("B1"), false); err != nil {
+		t.Fatal(err)
+	}
+	br := f.Block("B1").CondBranch()
+	if br.Op != isa.Bnel {
+		t.Fatalf("op = %v, want bnel (negated likely)", br.Op)
+	}
+	if br.Label != "F" {
+		t.Fatalf("negated branch targets %q, want F", br.Label)
+	}
+	mustSame(t, before, after, "MakeLikely fall-biased")
+
+	// The other outcome too.
+	before2 := asm.MustParse(strings.Replace(diamondSrc, "li r2, 7", "li r2, 9", 1))
+	after2 := before2.Clone()
+	f2 := after2.Func("main")
+	if err := MakeLikely(f2, f2.Block("B1"), false); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before2, after2, "MakeLikely fall-biased (fall outcome)")
+}
+
+func TestMakeLikelyErrors(t *testing.T) {
+	p := asm.MustParse(diamondSrc)
+	f := p.Func("main")
+	if err := MakeLikely(f, f.Block("J"), true); err == nil {
+		t.Error("non-branch block must fail")
+	}
+}
+
+// ---------- SplitBranch ----------
+
+// phasedLoopSrc runs 1000 iterations; the branch in "check" is taken
+// for i<400, alternates for 400≤i<600, and is not taken for i≥600 —
+// the paper's Fig. 3 iteration-space shape, driven by data.
+const phasedLoopSrc = `
+func main:
+entry:
+	li r1, 0
+	li r9, 0
+loop:
+	slt r2, r1, 400
+	bne r2, 0, phaseA
+mid:
+	slt r2, r1, 600
+	beq r2, 0, phaseC
+alt:
+	and r3, r1, 1
+	j check
+phaseA:
+	li r3, 0
+	j check
+phaseC:
+	li r3, 1
+	j check
+check:
+	beq r3, 0, T
+F:
+	add r9, r9, 1
+	j J
+T:
+	add r9, r9, 10
+J:
+	add r1, r1, 1
+	blt r1, 1000, loop
+exit:
+	halt
+`
+
+func phasesFig3() []Phase {
+	return []Phase{
+		{Lo: 0, Hi: 400, Class: profile.SegTaken},
+		{Lo: 400, Hi: 600, Class: profile.SegMixed},
+		{Lo: 600, Hi: PhaseEnd, Class: profile.SegNotTaken},
+	}
+}
+
+func TestSplitBranchPreservesSemantics(t *testing.T) {
+	before := asm.MustParse(phasedLoopSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	if h == nil {
+		t.Fatal("check hammock not matched")
+	}
+	res, err := SplitBranch(f, h, phasesFig3(), NewIntPool(f), NewPredPool(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(after, prog.VerifyIR); err != nil {
+		t.Fatalf("verify: %v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "SplitBranch")
+
+	if len(res.Versions) != 2 {
+		t.Fatalf("versions = %d, want 2 (mixed phase has none)", len(res.Versions))
+	}
+	// Version branches are branch-likely.
+	for _, v := range res.Versions {
+		br := v.Entry.CondBranch()
+		if br == nil || !br.Op.IsLikely() {
+			t.Errorf("version %v entry lacks a likely branch", v.Phase)
+		}
+	}
+	if res.Residual.CondBranch() == nil || res.Residual.CondBranch().Op.IsLikely() {
+		t.Error("residual must keep the plain 2-bit branch")
+	}
+}
+
+func TestSplitBranchIsolatesResidualHistory(t *testing.T) {
+	after := asm.MustParse(phasedLoopSrc)
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	if _, err := SplitBranch(f, h, phasesFig3(), NewIntPool(f), NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := profile.Collect(after, interp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The residual branch executes only during the 200 mixed
+	// occurrences; the biased phases go to the likely versions.
+	resid := prof.Site("main.check.res")
+	if resid == nil {
+		t.Fatalf("residual site missing; sites: %v", siteNames(prof))
+	}
+	if resid.Count() != 200 {
+		t.Errorf("residual count = %d, want 200", resid.Count())
+	}
+	// Each version branch sees its own 400 biased occurrences.
+	var versionCounts []int64
+	for _, bp := range prof.Sites() {
+		if strings.Contains(bp.Site, ".v") {
+			versionCounts = append(versionCounts, bp.Count())
+			if bp.Bias() < 0.99 {
+				t.Errorf("version branch %s bias = %v, want ≈1 (likely always matches)", bp.Site, bp.Bias())
+			}
+		}
+	}
+	if len(versionCounts) != 2 || versionCounts[0] != 400 || versionCounts[1] != 400 {
+		t.Errorf("version counts = %v, want [400 400]", versionCounts)
+	}
+}
+
+func siteNames(p *profile.Profile) []string {
+	var names []string
+	for _, s := range p.Sites() {
+		names = append(names, s.Site)
+	}
+	return names
+}
+
+func TestSplitBranchValidation(t *testing.T) {
+	p := asm.MustParse(phasedLoopSrc)
+	f := p.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	bad := [][]Phase{
+		{},
+		{{Lo: 0, Hi: PhaseEnd, Class: profile.SegTaken}},
+		{{Lo: 5, Hi: 10, Class: profile.SegTaken}, {Lo: 10, Hi: PhaseEnd, Class: profile.SegMixed}},
+		{{Lo: 0, Hi: 10, Class: profile.SegTaken}, {Lo: 20, Hi: PhaseEnd, Class: profile.SegMixed}},
+		{{Lo: 0, Hi: 10, Class: profile.SegTaken}, {Lo: 10, Hi: 500, Class: profile.SegMixed}},
+		{{Lo: 0, Hi: 400, Class: profile.SegMixed}, {Lo: 400, Hi: PhaseEnd, Class: profile.SegMixed}},
+	}
+	for i, phases := range bad {
+		if _, err := SplitBranch(f, h, phases, NewIntPool(f), NewPredPool(f)); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPhasesFromSegments(t *testing.T) {
+	segs := []profile.Segment{
+		{Start: 0, End: 400, Class: profile.SegTaken, TakenFreq: 0.95},
+		{Start: 400, End: 600, Class: profile.SegMixed, TakenFreq: 0.5},
+		{Start: 600, End: 1000, Class: profile.SegNotTaken, TakenFreq: 0.05},
+	}
+	phases := PhasesFromSegments(segs)
+	if len(phases) != 3 {
+		t.Fatal("phase count")
+	}
+	if phases[2].Hi != PhaseEnd {
+		t.Error("final phase must be open-ended")
+	}
+	if phases[0].Hi != 400 || phases[1].Lo != 400 {
+		t.Error("bounds wrong")
+	}
+}
+
+// ---------- Periodic ----------
+
+func TestPlanPeriodic(t *testing.T) {
+	mk := func(pat string) profile.Periodicity {
+		p := profile.Periodicity{Period: len(pat)}
+		for _, c := range pat {
+			p.Pattern = append(p.Pattern, c == 'T')
+		}
+		return p
+	}
+	cases := []struct {
+		pat string
+		ok  bool
+		run int
+		rot int
+	}{
+		{"TF", true, 1, 0},
+		{"TTF", true, 2, 0},
+		{"FTT", true, 2, 1},
+		{"TFT", true, 2, 2},
+		{"TTFF", true, 2, 0},
+		{"FFTT", true, 2, 2},
+		{"TTFTFF", false, 0, 0}, // two separated runs
+		{"TTTT", false, 0, 0},   // constant
+		{"FFFF", false, 0, 0},
+	}
+	for _, c := range cases {
+		plan, ok := PlanPeriodic(mk(c.pat))
+		if ok != c.ok {
+			t.Errorf("%s: ok=%v want %v", c.pat, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if plan.TakenRun != c.run || plan.Rotation != c.rot {
+			t.Errorf("%s: plan=%+v want run=%d rot=%d", c.pat, plan, c.run, c.rot)
+		}
+	}
+}
+
+// periodicLoopSrc takes the branch on a TTF cycle (taken unless i%3==2).
+const periodicLoopSrc = `
+func main:
+entry:
+	li r1, 0
+	li r4, 0
+	li r9, 0
+loop:
+	slt r2, r4, 2
+	j check
+check:
+	bne r2, 0, T
+F:
+	add r9, r9, 1
+	j J
+T:
+	add r9, r9, 10
+J:
+	add r4, r4, 1
+	slt r3, r4, 3
+	bne r3, 0, keep
+wrap:
+	li r4, 0
+keep:
+	add r1, r1, 1
+	blt r1, 900, loop
+exit:
+	halt
+`
+
+func TestSplitBranchPeriodicPreservesSemantics(t *testing.T) {
+	before := asm.MustParse(periodicLoopSrc)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	if h == nil {
+		t.Fatal("hammock not matched")
+	}
+	plan := PeriodicPlan{Period: 3, TakenRun: 2, Rotation: 0}
+	res, err := SplitBranchPeriodic(f, h, plan, NewIntPool(f), NewPredPool(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(after, prog.VerifyIR); err != nil {
+		t.Fatalf("verify: %v\n%s", err, after.String())
+	}
+	mustSame(t, before, after, "SplitBranchPeriodic")
+
+	// Both version branches should now be near-perfectly biased.
+	prof, _, err := profile.Collect(after, interp.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Versions {
+		site := prof.Site("main." + v.Entry.Name)
+		if site == nil {
+			t.Fatalf("version site %s missing; sites: %v", v.Entry.Name, siteNames(prof))
+		}
+		if site.Bias() < 0.99 {
+			t.Errorf("version %s bias = %v, want ≈1", v.Entry.Name, site.Bias())
+		}
+	}
+}
+
+func TestSplitBranchPeriodicRotation(t *testing.T) {
+	// Same loop but the cycle starts mid-pattern: r4 starts at 2, so
+	// the outcome sequence is F,T,T,F,T,T,… — rotation 2 of TTF.
+	src := strings.Replace(periodicLoopSrc, "li r4, 0\n\tli r9, 0", "li r4, 2\n\tli r9, 0", 1)
+	before := asm.MustParse(src)
+	after := before.Clone()
+	f := after.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	plan, ok := PlanPeriodic(profile.Periodicity{Period: 3, Pattern: []bool{false, true, true}})
+	if !ok {
+		t.Fatal("FTT should plan")
+	}
+	if _, err := SplitBranchPeriodic(f, h, plan, NewIntPool(f), NewPredPool(f)); err != nil {
+		t.Fatal(err)
+	}
+	mustSame(t, before, after, "SplitBranchPeriodic rotated")
+}
+
+func TestSplitBranchPeriodicValidation(t *testing.T) {
+	p := asm.MustParse(periodicLoopSrc)
+	f := p.Func("main")
+	h := MatchHammock(f, f.Block("check"))
+	for _, plan := range []PeriodicPlan{
+		{Period: 1, TakenRun: 1},
+		{Period: 4, TakenRun: 0},
+		{Period: 4, TakenRun: 4},
+	} {
+		if _, err := SplitBranchPeriodic(f, h, plan, NewIntPool(f), NewPredPool(f)); err == nil {
+			t.Errorf("plan %+v should be rejected", plan)
+		}
+	}
+}
+
+// ---------- Register pools ----------
+
+func TestRegPools(t *testing.T) {
+	p := asm.MustParse(fig1)
+	f := p.Func("main")
+	ip := NewIntPool(f)
+	// fig1 mentions r1..r4, r6..r9: pool = 31 - 8 = 23 (r0 excluded).
+	if ip.Len() != 23 {
+		t.Errorf("int pool = %d, want 23", ip.Len())
+	}
+	r, ok := ip.Get()
+	if !ok || !r.IsInt() || r.IsZero() {
+		t.Errorf("Get = %v, %v", r, ok)
+	}
+	pp := NewPredPool(f)
+	if pp.Len() != 7 {
+		t.Errorf("pred pool = %d, want 7 (p1..p7)", pp.Len())
+	}
+	fp := NewFPPool(f)
+	if fp.Len() != 32 {
+		t.Errorf("fp pool = %d, want 32", fp.Len())
+	}
+	// Exhaustion.
+	for i := 0; i < 7; i++ {
+		if _, ok := pp.Get(); !ok {
+			t.Fatal("pool exhausted early")
+		}
+	}
+	if _, ok := pp.Get(); ok {
+		t.Error("pool should be exhausted")
+	}
+}
+
+// ---------- Randomized semantics preservation ----------
+
+// TestQuickTransformsPreserveSemantics builds random diamond programs,
+// applies each transform and checks architectural equivalence.
+func TestQuickTransformsPreserveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		before := randomDiamondProgram(rng)
+		mode := trial % 4
+
+		after := before.Clone()
+		f := after.Func("main")
+		var label string
+		switch mode {
+		case 0:
+			label = "Speculate"
+			b1, b2 := f.Block("B1"), f.Block("F")
+			if _, err := Speculate(f, b1, b2, NewIntPool(f), SpecOptions{}); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		case 1:
+			label = "IfConvert"
+			h := MatchHammock(f, f.Block("B1"))
+			if h == nil {
+				continue
+			}
+			if err := IfConvert(f, h, NewPredPool(f)); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		case 2:
+			label = "IfConvert+Lower"
+			h := MatchHammock(f, f.Block("B1"))
+			if h == nil {
+				continue
+			}
+			if err := IfConvert(f, h, NewPredPool(f)); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := LowerProgram(after); err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, after.String())
+			}
+		case 3:
+			label = "MakeLikely"
+			if err := MakeLikely(f, f.Block("B1"), rng.Intn(2) == 0); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		if err := prog.Verify(after, prog.VerifyIR); err != nil {
+			t.Fatalf("trial %d (%s): verify: %v\n%s", trial, label, err, after.String())
+		}
+		mustSame(t, before, after, label)
+	}
+}
+
+// randomDiamondProgram builds init → B1 (cond) → T/F → J with random
+// ALU bodies over r1..r8 and random initial values. Memory ops write
+// above the scratch region.
+func randomDiamondProgram(rng *rand.Rand) *prog.Program {
+	b := prog.NewBuilder("main")
+	b.Block("init")
+	for i := 1; i <= 8; i++ {
+		b.Li(isa.R(i), int64(rng.Intn(50)))
+	}
+	b.Li(isa.R(9), int64(ScratchBytes+8*rng.Intn(32)))
+	ops := []isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge}
+	b.Block("B1")
+	b.Branch(ops[rng.Intn(len(ops))], isa.R(1+rng.Intn(4)), isa.R(1+rng.Intn(4)), "T")
+	emitBody := func(n int) {
+		for k := 0; k < n; k++ {
+			rd := isa.R(1 + rng.Intn(8))
+			rs := isa.R(1 + rng.Intn(8))
+			rt := isa.R(1 + rng.Intn(8))
+			switch rng.Intn(6) {
+			case 0:
+				b.Op3(isa.Add, rd, rs, rt)
+			case 1:
+				b.Op3(isa.Sub, rd, rs, rt)
+			case 2:
+				b.Op3(isa.Xor, rd, rs, rt)
+			case 3:
+				b.OpI(isa.Sll, rd, rs, int64(rng.Intn(4)))
+			case 4:
+				b.Store(isa.Sw, rd, isa.R(9), int64(8*rng.Intn(4)))
+			default:
+				b.Load(isa.Lw, rd, isa.R(9), int64(8*rng.Intn(4)))
+			}
+		}
+	}
+	b.Block("F")
+	emitBody(1 + rng.Intn(4))
+	b.Jump("J")
+	b.Block("T")
+	emitBody(1 + rng.Intn(4))
+	b.Block("J")
+	b.Op3(isa.Add, isa.R(1), isa.R(1), isa.R(2))
+	b.Halt()
+	p := prog.NewProgram()
+	p.AddFunc(b.Func())
+	return p
+}
