@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench-json
+
+# The full gate: what CI (and every PR) must pass.
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the pipeline microbenchmark — catches benchmark rot
+# without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkPipe -benchtime 1x ./internal/pipeline
+
+# Regenerate the "after" block of BENCH_pipeline.json.
+bench-json:
+	./scripts/bench_json.sh

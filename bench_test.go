@@ -143,7 +143,8 @@ func BenchmarkFigure4SplitSchedule(b *testing.B) {
 
 // BenchmarkAblationPolicies measures each optimizer arm's individual
 // contribution — the title's "individual/combined effects". Metric:
-// suite geomean IPC under the 2-bit scheme.
+// suite geomean IPC under the 2-bit scheme. The four workloads of each
+// configuration fan out in parallel via RunProposedOptsAll.
 func BenchmarkAblationPolicies(b *testing.B) {
 	configs := []struct {
 		name string
@@ -163,12 +164,12 @@ func BenchmarkAblationPolicies(b *testing.B) {
 			var geo float64
 			for i := 0; i < b.N; i++ {
 				r := bench.NewRunner()
+				results, err := r.RunProposedOptsAll(cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
 				product := 1.0
-				for _, w := range bench.All() {
-					res, err := r.RunProposedOpts(w, cfg.opts)
-					if err != nil {
-						b.Fatal(err)
-					}
+				for _, res := range results {
 					product *= res.Stats.IPC()
 				}
 				geo = math.Pow(product, 0.25)
@@ -256,15 +257,15 @@ func BenchmarkAblationThresholds(b *testing.B) {
 			var geo float64
 			for i := 0; i < b.N; i++ {
 				r := bench.NewRunner()
+				results, err := r.RunProposedOptsAll(core.Options{
+					LikelyThreshold: cfg.likely,
+					UnbiasedMax:     cfg.unbias,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				product := 1.0
-				for _, w := range bench.All() {
-					res, err := r.RunProposedOpts(w, core.Options{
-						LikelyThreshold: cfg.likely,
-						UnbiasedMax:     cfg.unbias,
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
+				for _, res := range results {
 					product *= res.Stats.IPC()
 				}
 				geo = math.Pow(product, 0.25)

@@ -1,19 +1,32 @@
 // Command sgbench regenerates the paper's evaluation: Tables 1–4, the
 // Fig. 2/4 worked example, the headline IPC summary, and the ablation
-// studies. With no flags it prints everything.
+// studies. With no flags it prints everything. Independent simulations
+// run in parallel (bounded by -par, default GOMAXPROCS) with results in
+// deterministic table order.
 //
 // Usage:
 //
 //	sgbench [-table N] [-figure] [-summary] [-ablation] [-entries N]
+//	        [-par N] [-benchjson] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
 
+	"specguard/internal/asm"
 	"specguard/internal/bench"
 	"specguard/internal/core"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
 )
 
 func main() {
@@ -22,48 +35,99 @@ func main() {
 	summary := flag.Bool("summary", false, "print only the headline IPC summary")
 	ablation := flag.Bool("ablation", false, "print only the policy ablation")
 	entries := flag.Int("entries", 0, "override the 2-bit predictor table size")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	benchjson := flag.Bool("benchjson", false, "emit pipeline/suite performance numbers as JSON and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	only := *table != 0 || *figure || *summary || *ablation
-
-	if *figure || !only {
-		fmt.Println(bench.FormatFigure2())
-	}
-	if *table == 2 || !only {
-		r := bench.NewRunner()
-		fmt.Println(bench.FormatTable2(r.Model))
-	}
-	needRuns := !only || *table == 1 || *table == 3 || *table == 4 || *summary
-	if needRuns {
-		r := bench.NewRunner()
-		r.PredictorEntries = *entries
-		fmt.Fprintln(os.Stderr, "running 4 workloads x 3 schemes...")
-		results, err := r.RunAll()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sgbench:", err)
-			os.Exit(1)
-		}
-		if *table == 1 || !only {
-			fmt.Println(bench.FormatTable1(bench.Table1(results)))
-		}
-		if *table == 3 || !only {
-			fmt.Println(bench.FormatTable3(bench.Table3(results)))
-		}
-		if *table == 4 || !only {
-			fmt.Println(bench.FormatTable4(bench.Table4(results)))
-		}
-		if *summary || !only {
-			fmt.Println(bench.FormatHeadlines(bench.Headlines(results)))
-		}
-	}
-	if *ablation || !only {
-		printAblation(*entries)
+	if err := run(*table, *figure, *summary, *ablation, *entries, *par,
+		*benchjson, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		os.Exit(1)
 	}
 }
 
+func run(table int, figure, summary, ablation bool, entries, par int,
+	benchjson bool, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sgbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sgbench:", err)
+			}
+		}()
+	}
+
+	newRunner := func() *bench.Runner {
+		r := bench.NewRunner()
+		r.PredictorEntries = entries
+		r.Parallelism = par
+		return r
+	}
+
+	if benchjson {
+		return emitBenchJSON(newRunner, os.Stdout)
+	}
+
+	only := table != 0 || figure || summary || ablation
+
+	if figure || !only {
+		fmt.Println(bench.FormatFigure2())
+	}
+	if table == 2 || !only {
+		fmt.Println(bench.FormatTable2(bench.NewRunner().Model))
+	}
+	needRuns := !only || table == 1 || table == 3 || table == 4 || summary
+	if needRuns {
+		r := newRunner()
+		fmt.Fprintln(os.Stderr, "running 4 workloads x 3 schemes...")
+		results, err := r.RunAll()
+		if err != nil {
+			return err
+		}
+		if table == 1 || !only {
+			fmt.Println(bench.FormatTable1(bench.Table1(results)))
+		}
+		if table == 3 || !only {
+			fmt.Println(bench.FormatTable3(bench.Table3(results)))
+		}
+		if table == 4 || !only {
+			fmt.Println(bench.FormatTable4(bench.Table4(results)))
+		}
+		if summary || !only {
+			fmt.Println(bench.FormatHeadlines(bench.Headlines(results)))
+		}
+	}
+	if ablation || !only {
+		if err := printAblation(newRunner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // printAblation disables one optimizer arm at a time — the paper
-// title's "individual/combined effects".
-func printAblation(entries int) {
+// title's "individual/combined effects". The four workloads of each
+// configuration run in parallel.
+func printAblation(newRunner func() *bench.Runner) error {
 	configs := []struct {
 		name string
 		opts core.Options
@@ -83,17 +147,134 @@ func printAblation(entries int) {
 	}
 	fmt.Println()
 	for _, cfg := range configs {
-		r := bench.NewRunner()
-		r.PredictorEntries = entries
+		r := newRunner()
+		results, err := r.RunProposedOptsAll(cfg.opts)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-22s", cfg.name)
-		for _, w := range bench.All() {
-			res, err := r.RunProposedOpts(w, cfg.opts)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sgbench:", err)
-				os.Exit(1)
-			}
+		for _, res := range results {
 			fmt.Printf(" %10.3f", res.Stats.IPC())
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// benchReport is the schema of BENCH_pipeline.json's per-measurement
+// records (see scripts/bench_json.sh).
+type benchReport struct {
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	PipeNsOp       int64   `json:"pipe_ns_op"`
+	PipeAllocsOp   int64   `json:"pipe_allocs_op"`
+	PipeBytesOp    int64   `json:"pipe_bytes_op"`
+	ReplayMinstrS  float64 `json:"replay_minstr_per_s"`
+	SuiteWallMs    int64   `json:"suite_wall_ms"`
+	AblationWallMs int64   `json:"ablation_row_wall_ms"`
+}
+
+// benchKernel is the BenchmarkPipe program (kept in sync with
+// internal/pipeline/speed_test.go) so released binaries can reproduce
+// the recorded baseline without the test harness.
+const benchKernel = `
+func main:
+entry:
+	li r1, 0
+	li r5, 9000
+loop:
+	lw r3, 0(r5)
+	add r3, r3, 1
+	sw r3, 0(r5)
+	and r2, r1, 7
+	beq r2, 0, sp
+pl:
+	add r4, r4, 1
+	j next
+sp:
+	add r6, r6, 1
+next:
+	add r1, r1, 1
+	blt r1, 50000, loop
+exit:
+	halt
+`
+
+// emitBenchJSON measures the pipeline microbenchmark, the trace-replay
+// rate of a warmed pipeline, and the full-suite wall clock, then
+// prints one benchReport as JSON.
+func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
+	pipe := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := asm.MustParse(benchKernel)
+			m, err := interp.New(p, nil, interp.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(pipeline.NewInterpSource(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	var events []interp.Event
+	m, err := interp.New(asm.MustParse(benchKernel), nil, interp.Options{})
+	if err != nil {
+		return err
+	}
+	for {
+		ev, err := m.Step()
+		if err == interp.ErrHalted {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		events = append(events, ev)
+	}
+	src := pipeline.NewSliceSource(events)
+	sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
+	if err != nil {
+		return err
+	}
+	if _, err := sim.Run(src); err != nil {
+		return err
+	}
+	replay := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src.Reset()
+			if _, err := sim.Run(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	replayRate := float64(len(events)) * float64(replay.N) / replay.T.Seconds() / 1e6
+
+	start := time.Now()
+	if _, err := newRunner().RunAll(); err != nil {
+		return err
+	}
+	suiteWall := time.Since(start)
+
+	start = time.Now()
+	if _, err := newRunner().RunProposedOptsAll(core.Options{}); err != nil {
+		return err
+	}
+	ablationWall := time.Since(start)
+
+	rep := benchReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		PipeNsOp:       pipe.NsPerOp(),
+		PipeAllocsOp:   pipe.AllocsPerOp(),
+		PipeBytesOp:    pipe.AllocedBytesPerOp(),
+		ReplayMinstrS:  replayRate,
+		SuiteWallMs:    suiteWall.Milliseconds(),
+		AblationWallMs: ablationWall.Milliseconds(),
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

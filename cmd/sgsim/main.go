@@ -6,12 +6,15 @@
 //
 //	sgsim -w compress -scheme proposed
 //	sgsim -f prog.s -scheme 2bit -entries 64
+//	sgsim -w xlisp -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"specguard/internal/asm"
 	"specguard/internal/bench"
@@ -28,6 +31,8 @@ func main() {
 	file := flag.String("f", "", "assembly file to simulate")
 	scheme := flag.String("scheme", "2bit", "2bit | gshare | proposed | perfect")
 	entries := flag.Int("entries", 512, "2-bit predictor table size")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if (*workload == "") == (*file == "") {
@@ -35,13 +40,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*workload, *file, *scheme, *entries); err != nil {
+	if err := run(*workload, *file, *scheme, *entries, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "sgsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, file, scheme string, entries int) error {
+func run(workload, file, scheme string, entries int, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sgsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sgsim:", err)
+			}
+		}()
+	}
+
 	var w bench.Workload
 	if workload != "" {
 		var err error

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenRecord is one (workload, scheme) cell of the golden matrix.
+type goldenRecord struct {
+	Workload string
+	Scheme   string
+	Stats    json.RawMessage
+}
+
+// TestGoldenStats pins the timing model: every Stats field of every
+// (workload, scheme) cell must be bit-identical to the recorded run.
+// Any pipeline change that alters a single cycle count, queue tally or
+// predictor outcome fails here. Regenerate deliberately with
+// `go test ./internal/bench -run TestGoldenStats -update`.
+func TestGoldenStats(t *testing.T) {
+	results := allResults(t)
+	var records []goldenRecord
+	for _, res := range results {
+		raw, err := json.MarshalIndent(res.Stats, "    ", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, goldenRecord{
+			Workload: res.Workload,
+			Scheme:   res.Scheme.String(),
+			Stats:    raw,
+		})
+	}
+	got, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_stats.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d cells)", path, len(records))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		// Locate the first differing cell for a readable failure.
+		var wantRecs []goldenRecord
+		if err := json.Unmarshal(want, &wantRecs); err == nil && len(wantRecs) == len(records) {
+			for i := range records {
+				if string(records[i].Stats) != string(wantRecs[i].Stats) {
+					t.Errorf("%s/%s: stats diverged from golden\n got: %s\nwant: %s",
+						records[i].Workload, records[i].Scheme, records[i].Stats, wantRecs[i].Stats)
+				}
+			}
+		}
+		t.Fatal("pipeline Stats are not bit-identical to the golden run")
+	}
+}

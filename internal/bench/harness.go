@@ -2,6 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"specguard/internal/core"
 	"specguard/internal/interp"
@@ -51,13 +54,21 @@ type Result struct {
 }
 
 // Runner caches profiles so the three schemes of one workload share
-// one feedback run.
+// one feedback run. A Runner is safe for concurrent Run calls: every
+// simulation builds its own program, predictor, interpreter and
+// pipeline (with private caches); only the read-mostly profile cache is
+// shared, behind a mutex.
 type Runner struct {
 	Model *machine.Model
 	// PredictorEntries overrides the 2-bit table size (ablations);
 	// 0 uses the model's.
 	PredictorEntries int
+	// Parallelism caps concurrent simulations in RunAll and the other
+	// fan-out helpers; 0 means runtime.GOMAXPROCS(0), 1 forces the
+	// serial path.
+	Parallelism int
 
+	mu       sync.Mutex
 	profiles map[string]*profile.Profile
 }
 
@@ -74,16 +85,29 @@ func (r *Runner) entries() int {
 }
 
 // ProfileOf returns (building if needed) the workload's feedback
-// profile — the paper's instrumented run.
+// profile — the paper's instrumented run. Concurrent callers for the
+// same workload may duplicate the feedback run; use prefetchProfiles
+// first to avoid that (RunAll and the fan-out helpers do).
 func (r *Runner) ProfileOf(w Workload) (*profile.Profile, error) {
+	r.mu.Lock()
 	if p, ok := r.profiles[w.Name]; ok {
+		r.mu.Unlock()
 		return p, nil
 	}
+	r.mu.Unlock()
 	prof, _, err := profile.Collect(w.Build(), interp.Options{}, wrapInit(w))
 	if err != nil {
 		return nil, fmt.Errorf("bench: profiling %s: %w", w.Name, err)
 	}
-	r.profiles[w.Name] = prof
+	r.mu.Lock()
+	// Keep the first stored profile if another goroutine raced us, so
+	// all schemes of one workload share one *profile.Profile.
+	if p, ok := r.profiles[w.Name]; ok {
+		prof = p
+	} else {
+		r.profiles[w.Name] = prof
+	}
+	r.mu.Unlock()
 	return prof, nil
 }
 
@@ -92,6 +116,21 @@ func wrapInit(w Workload) func(*interp.Interp) error {
 		return nil
 	}
 	return w.Init
+}
+
+// prefetchProfiles builds the feedback profile of every workload, in
+// parallel, so subsequent fan-out stages hit the cache.
+func (r *Runner) prefetchProfiles(ws []Workload) error {
+	errs := make([]error, len(ws))
+	r.parallelFor(len(ws), func(i int) {
+		_, errs[i] = r.ProfileOf(ws[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run simulates one workload under one scheme.
@@ -172,8 +211,43 @@ func (r *Runner) RunProposedOpts(w Workload, opts core.Options) (Result, error) 
 	return res, nil
 }
 
-// RunAll simulates every workload under every scheme, in table order.
+// RunAll simulates every workload under every scheme and returns the
+// results in table order. Independent (workload, scheme) simulations
+// fan out across goroutines — bounded by Parallelism or GOMAXPROCS —
+// after the per-workload feedback profiles are built; ordering and
+// Stats are identical to RunAllSerial because no mutable state is
+// shared between simulations.
 func (r *Runner) RunAll() ([]Result, error) {
+	type job struct {
+		w Workload
+		s Scheme
+	}
+	ws := All()
+	if err := r.prefetchProfiles(ws); err != nil {
+		return nil, err
+	}
+	var jobs []job
+	for _, w := range ws {
+		for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
+			jobs = append(jobs, job{w, s})
+		}
+	}
+	out := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	r.parallelFor(len(jobs), func(i int) {
+		out[i], errs[i] = r.Run(jobs[i].w, jobs[i].s)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunAllSerial is the single-goroutine reference path for RunAll; the
+// determinism test pins the parallel path to it bit-for-bit.
+func (r *Runner) RunAllSerial() ([]Result, error) {
 	var out []Result
 	for _, w := range All() {
 		for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
@@ -185,4 +259,59 @@ func (r *Runner) RunAll() ([]Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// RunProposedOptsAll runs RunProposedOpts for every workload in
+// parallel, in registry order — one ablation row.
+func (r *Runner) RunProposedOptsAll(opts core.Options) ([]Result, error) {
+	ws := All()
+	if err := r.prefetchProfiles(ws); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ws))
+	errs := make([]error, len(ws))
+	r.parallelFor(len(ws), func(i int) {
+		out[i], errs[i] = r.RunProposedOpts(ws[i], opts)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs f(0..n-1) across min(workers, n) goroutines with an
+// atomic work counter. With one worker it degenerates to a plain loop
+// on the calling goroutine.
+func (r *Runner) parallelFor(n int, f func(int)) {
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

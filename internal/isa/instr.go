@@ -58,52 +58,63 @@ func (in *Instr) HasImmOperand() bool {
 // Writes to r0 and p0 are architectural no-ops but are still reported
 // here; dependence analysis treats them like any other def so that
 // transforms never need a special case (the interpreter discards them).
-func (in *Instr) Defs() []Reg {
+func (in *Instr) Defs() []Reg { return in.AppendDefs(nil) }
+
+// AppendDefs appends the registers written by the instruction to dst
+// and returns the extended slice. Callers on hot paths pass a reused
+// buffer (an instruction defines at most one register) to stay
+// allocation-free.
+func (in *Instr) AppendDefs(dst []Reg) []Reg {
 	switch in.Op.info().format {
 	case fmtR3, fmtR2, fmtRI, fmtP3, fmtP2:
 		if in.Op == Nop {
-			return nil
+			return dst
 		}
-		return []Reg{in.Rd}
+		return append(dst, in.Rd)
 	case fmtMem:
 		if in.Op.IsLoad() {
-			return []Reg{in.Rd}
+			return append(dst, in.Rd)
 		}
 	}
-	return nil
+	return dst
 }
 
 // Uses returns the registers read by the instruction, including the
 // guard predicate and, for stores, the value register.
-func (in *Instr) Uses() []Reg {
-	var u []Reg
+func (in *Instr) Uses() []Reg { return in.AppendUses(nil) }
+
+// AppendUses appends the registers read by the instruction to dst and
+// returns the extended slice. An instruction reads at most three
+// registers (two operands plus a guard predicate), so a reused buffer
+// of capacity 3 keeps hot-path callers allocation-free.
+func (in *Instr) AppendUses(dst []Reg) []Reg {
 	switch in.Op.info().format {
 	case fmtR3, fmtP3:
-		u = append(u, in.Rs)
+		dst = append(dst, in.Rs)
 		if in.Rt != NoReg {
-			u = append(u, in.Rt)
+			dst = append(dst, in.Rt)
 		}
 	case fmtR2, fmtP2:
-		u = append(u, in.Rs)
+		dst = append(dst, in.Rs)
 	case fmtRI:
 		// immediate only
 	case fmtMem:
-		u = append(u, in.Rs) // base address
+		dst = append(dst, in.Rs) // base address
 		if in.Op.IsStore() {
-			u = append(u, in.Rd) // value being stored
+			dst = append(dst, in.Rd) // value being stored
 		}
 	case fmtBr2:
-		u = append(u, in.Rs)
+		dst = append(dst, in.Rs)
 		if in.Rt != NoReg {
-			u = append(u, in.Rt)
+			dst = append(dst, in.Rt)
 		}
 	case fmtBrP, fmtSwitch:
-		u = append(u, in.Rs)
+		dst = append(dst, in.Rs)
 	}
 	if in.Pred.Valid() {
-		u = append(u, in.Pred)
+		dst = append(dst, in.Pred)
 	}
-	return u
+	return dst
 }
 
 // Guarded reports whether the instruction carries a guard predicate.

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeqHeapPopsInSeqOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h seqHeap
+	seqs := rng.Perm(200)
+	for _, s := range seqs {
+		h.push(&entry{seq: int64(s)})
+	}
+	prev := int64(-1)
+	for h.len() > 0 {
+		e := h.pop()
+		if e.seq <= prev {
+			t.Fatalf("heap order violated: %d after %d", e.seq, prev)
+		}
+		prev = e.seq
+	}
+	// Interleaved push/pop keeps order.
+	h.push(&entry{seq: 5})
+	h.push(&entry{seq: 1})
+	if h.pop().seq != 1 {
+		t.Fatal("want 1 first")
+	}
+	h.push(&entry{seq: 3})
+	if h.pop().seq != 3 || h.pop().seq != 5 {
+		t.Fatal("interleaved order broken")
+	}
+}
+
+func TestWheelDrainsInProgramOrder(t *testing.T) {
+	var w wheel
+	w.init(16)
+	// Same completion cycle, scheduled out of seq order (as issue in
+	// different cycles can do): take must return them sorted by seq.
+	e9 := &entry{seq: 9, complete: 12}
+	e3 := &entry{seq: 3, complete: 12}
+	e7 := &entry{seq: 7, complete: 12}
+	w.schedule(e9, 10)
+	w.schedule(e3, 10)
+	w.schedule(e7, 11)
+	if got := w.take(11); len(got) != 0 {
+		t.Fatalf("cycle 11 bucket should be empty, got %d", len(got))
+	}
+	got := w.take(12)
+	if len(got) != 3 || got[0] != e3 || got[1] != e7 || got[2] != e9 {
+		t.Fatalf("bucket not in seq order: %v", got)
+	}
+	// The drained bucket is reusable.
+	if len(w.take(12+int64(len(w.buckets)))) != 0 {
+		t.Fatal("bucket not cleared after take")
+	}
+}
+
+func TestWheelGrowRefiles(t *testing.T) {
+	var w wheel
+	w.init(6) // 8 buckets
+	e1 := &entry{seq: 1, complete: 105}
+	w.schedule(e1, 100)
+	// Horizon beyond the current size forces a grow that must re-file e1.
+	e2 := &entry{seq: 2, complete: 100 + 40}
+	w.schedule(e2, 100)
+	if len(w.buckets) <= 8 {
+		t.Fatalf("wheel did not grow: %d buckets", len(w.buckets))
+	}
+	if got := w.take(105); len(got) != 1 || got[0] != e1 {
+		t.Fatalf("entry lost across grow: %v", got)
+	}
+	if got := w.take(140); len(got) != 1 || got[0] != e2 {
+		t.Fatalf("far entry misfiled: %v", got)
+	}
+}
+
+func TestMemTableInsertPruneDelete(t *testing.T) {
+	var mt memTable
+	mt.init(32)
+
+	st := &entry{seq: 5}
+	ld := &entry{seq: 9}
+	s := mt.slot(0x1000)
+	s.store = producerRef{st, 5}
+	s = mt.slot(0x1000)
+	s.load = producerRef{ld, 9}
+
+	// Pruning the store keeps the slot alive for the load.
+	mt.prune(0x1000, st)
+	if i, ok := mt.find(0x1000); !ok {
+		t.Fatal("slot vanished while load ref live")
+	} else if mt.slots[i].store.e != nil {
+		t.Fatal("store ref not cleared")
+	}
+	// A stale prune (ref already overwritten) must not clear.
+	young := &entry{seq: 20}
+	mt.slot(0x1000).load = producerRef{young, 20}
+	mt.prune(0x1000, ld)
+	if i, _ := mt.find(0x1000); mt.slots[i].load.e != young {
+		t.Fatal("stale prune cleared a younger reference")
+	}
+	// Final prune deletes the slot.
+	mt.prune(0x1000, young)
+	if _, ok := mt.find(0x1000); ok {
+		t.Fatal("empty slot not deleted")
+	}
+	if mt.used != 0 {
+		t.Fatalf("used = %d after full prune", mt.used)
+	}
+}
+
+// TestMemTableCollisionDeletion drives backward-shift deletion through
+// colliding keys: after deleting the middle of a probe chain, the
+// remaining keys must still be findable.
+func TestMemTableCollisionDeletion(t *testing.T) {
+	var mt memTable
+	mt.init(1) // 64 slots
+	// Find three addresses that share a home bucket.
+	var addrs []int64
+	home := mt.home(1)
+	for a := int64(1); len(addrs) < 3; a++ {
+		if mt.home(a) == home {
+			addrs = append(addrs, a)
+		}
+	}
+	es := make([]*entry, 3)
+	for i, a := range addrs {
+		es[i] = &entry{seq: int64(i + 1)}
+		mt.slot(a).store = producerRef{es[i], es[i].seq}
+	}
+	// Delete the middle of the chain.
+	mt.prune(addrs[1], es[1])
+	for _, i := range []int{0, 2} {
+		idx, ok := mt.find(addrs[i])
+		if !ok {
+			t.Fatalf("addr %#x lost after chain deletion", addrs[i])
+		}
+		if mt.slots[idx].store.e != es[i] {
+			t.Fatalf("addr %#x resolves to wrong slot", addrs[i])
+		}
+	}
+	if _, ok := mt.find(addrs[1]); ok {
+		t.Fatal("deleted addr still findable")
+	}
+}
+
+func TestProducerRefActive(t *testing.T) {
+	e := &entry{seq: 7, state: stDispatched}
+	ref := producerRef{e, 7}
+	if !ref.active() {
+		t.Fatal("in-flight producer must be active")
+	}
+	e.state = stCompleted
+	if ref.active() {
+		t.Fatal("completed producer must be inactive")
+	}
+	e.state = stDispatched
+	e.seq = 12 // recycled under a new sequence number
+	if ref.active() {
+		t.Fatal("recycled producer must be inactive via seq fence")
+	}
+	if (producerRef{}).active() {
+		t.Fatal("nil ref must be inactive")
+	}
+}
+
+func TestFetchRingFIFO(t *testing.T) {
+	var fr fetchRing
+	fr.init(3)
+	for i := 0; i < 3; i++ {
+		fr.push(fetchItem{seq: int64(i)})
+	}
+	if fr.len() != 3 {
+		t.Fatalf("len = %d", fr.len())
+	}
+	if fr.front().seq != 0 {
+		t.Fatal("front wrong")
+	}
+	fr.popFront()
+	fr.push(fetchItem{seq: 3}) // wraps
+	want := int64(1)
+	for fr.len() > 0 {
+		if fr.front().seq != want {
+			t.Fatalf("got %d want %d", fr.front().seq, want)
+		}
+		fr.popFront()
+		want++
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow must panic")
+		}
+	}()
+	var tiny fetchRing
+	tiny.init(1)
+	tiny.push(fetchItem{})
+	tiny.push(fetchItem{})
+}

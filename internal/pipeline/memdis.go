@@ -1,0 +1,157 @@
+package pipeline
+
+// producerRef is a possibly-stale reference to a producing entry.
+// Entries are recycled through a free list at commit, so a raw pointer
+// could outlive its instruction; the sequence number captured when the
+// reference was recorded disambiguates: if ref.e.seq no longer matches,
+// the producer has committed (and its slot was reused), which for
+// dependence purposes means it completed long ago — no edge is needed.
+type producerRef struct {
+	e   *entry
+	seq int64
+}
+
+// active reports whether the reference still names an in-flight,
+// not-yet-completed instruction (the only case that creates a
+// dependence edge).
+func (r producerRef) active() bool {
+	return r.e != nil && r.e.seq == r.seq && r.e.state != stCompleted
+}
+
+// memSlot tracks the youngest in-flight store and load to one address.
+type memSlot struct {
+	addr  int64
+	live  bool
+	store producerRef
+	load  producerRef
+}
+
+// memTable is the memory-disambiguation table: an open-addressed,
+// linear-probed map from effective address to its youngest in-flight
+// store/load. Unlike the map[int64]*entry it replaces, slots are pruned
+// when their instruction commits, so the live set is bounded by the
+// active-list depth — the table never grows during a run and lookups
+// touch one or two cache lines.
+type memTable struct {
+	slots []memSlot
+	mask  uint64
+	used  int
+}
+
+// init sizes the table for an active list of depth rob and wipes it.
+// Capacity is the next power of two ≥ 4×rob (every live slot is owned
+// by an in-flight memory instruction, so load factor stays ≤ 25%).
+func (t *memTable) init(rob int) {
+	size := 64
+	for size < 4*rob {
+		size *= 2
+	}
+	if len(t.slots) < size {
+		t.slots = make([]memSlot, size)
+	}
+	t.mask = uint64(len(t.slots) - 1)
+	for i := range t.slots {
+		t.slots[i] = memSlot{}
+	}
+	t.used = 0
+}
+
+func (t *memTable) home(addr int64) uint64 {
+	return (uint64(addr) * 0x9E3779B97F4A7C15) & t.mask
+}
+
+// slot returns the slot for addr, inserting an empty one if absent.
+func (t *memTable) slot(addr int64) *memSlot {
+	if 4*(t.used+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	i := t.home(addr)
+	for {
+		s := &t.slots[i]
+		if !s.live {
+			*s = memSlot{addr: addr, live: true}
+			t.used++
+			return s
+		}
+		if s.addr == addr {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// find returns the index of addr's slot, or ok=false.
+func (t *memTable) find(addr int64) (uint64, bool) {
+	i := t.home(addr)
+	for {
+		s := &t.slots[i]
+		if !s.live {
+			return 0, false
+		}
+		if s.addr == addr {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// prune drops e's store/load references when the committing entry e is
+// still the youngest access to its address, deleting the slot once both
+// references are gone. References overwritten by younger accesses fail
+// the seq match and are left alone.
+func (t *memTable) prune(addr int64, e *entry) {
+	i, ok := t.find(addr)
+	if !ok {
+		return
+	}
+	s := &t.slots[i]
+	if s.store.e == e && s.store.seq == e.seq {
+		s.store = producerRef{}
+	}
+	if s.load.e == e && s.load.seq == e.seq {
+		s.load = producerRef{}
+	}
+	if s.store.e == nil && s.load.e == nil {
+		t.deleteAt(i)
+	}
+}
+
+// deleteAt removes the slot at index i using backward-shift deletion,
+// preserving the linear-probe invariant without tombstones.
+func (t *memTable) deleteAt(i uint64) {
+	t.used--
+	for {
+		t.slots[i] = memSlot{}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			if !t.slots[j].live {
+				return
+			}
+			h := t.home(t.slots[j].addr)
+			// Move slot j back to the hole at i only if its home
+			// position does not lie in the cyclic interval (i, j].
+			if (j > i && (h <= i || h > j)) || (j < i && (h <= i && h > j)) {
+				t.slots[i] = t.slots[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// grow doubles the table and rehashes live slots. Unreachable in
+// steady state (pruning bounds occupancy); kept for robustness against
+// unusual models.
+func (t *memTable) grow() {
+	old := t.slots
+	t.slots = make([]memSlot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	t.used = 0
+	for i := range old {
+		if !old[i].live {
+			continue
+		}
+		*t.slot(old[i].addr) = old[i]
+	}
+}

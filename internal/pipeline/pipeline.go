@@ -57,6 +57,10 @@ func (s *SliceSource) Next() (interp.Event, bool, error) {
 	return ev, true, nil
 }
 
+// Reset rewinds the source to the first event so one recorded trace can
+// drive repeated Runs (benchmarks, allocation tests).
+func (s *SliceSource) Reset() { s.pos = 0 }
+
 // Config assembles one simulation.
 type Config struct {
 	Model     *machine.Model
@@ -85,19 +89,41 @@ const (
 	stCompleted
 )
 
-// entry is one reorder-buffer (active list) slot.
+// entry is one reorder-buffer (active list) slot. Entries are recycled
+// through the pipeline's free list at commit, so every field is
+// re-initialized at dispatch; depsOver keeps its capacity across
+// incarnations.
 type entry struct {
 	ev    interp.Event
 	seq   int64
 	queue Queue
+	unit  isa.UnitClass
 	state entryState
 
-	producers []*entry // last writers of each source register (+ memory)
-	complete  int64    // valid once issued
+	complete int64 // valid once issued
 
 	inQueue bool // still holding its dispatch-queue slot
 	renamed bool // holds an integer/fp rename register until commit
 	fpDest  bool
+
+	// pending counts not-yet-completed producers; the entry becomes
+	// ready to issue when it reaches zero. deps is the reverse edge:
+	// consumers to wake when this entry completes, inline for the
+	// common case with a rarely-touched spill slice.
+	pending  int32
+	ndeps    int32
+	deps     [4]*entry
+	depsOver []*entry
+}
+
+// addDep registers c to be woken when e completes.
+func (e *entry) addDep(c *entry) {
+	if int(e.ndeps) < len(e.deps) {
+		e.deps[e.ndeps] = c
+		e.ndeps++
+		return
+	}
+	e.depsOver = append(e.depsOver, c)
 }
 
 // fetchItem is a decoded instruction waiting to dispatch.
@@ -109,7 +135,11 @@ type fetchItem struct {
 	indirect     bool // stalled fetch until resolution (non-BTB class)
 }
 
-// Pipeline is one configured simulator instance.
+// Pipeline is one configured simulator instance. The hot-loop
+// machinery (ROB ring, fetch ring, completion wheel, ready queues,
+// entry free list, memory-disambiguation table) lives on the struct and
+// is recycled across Run calls, so a warmed Pipeline simulates in
+// steady state without allocating.
 type Pipeline struct {
 	cfg    Config
 	model  *machine.Model
@@ -118,6 +148,15 @@ type Pipeline struct {
 	dcache *cache.Cache
 
 	stats Stats
+
+	rob        *ring
+	fbuf       fetchRing
+	wheel      wheel
+	ready      [isa.NumUnitClasses]seqHeap
+	free       []*entry
+	mem        memTable
+	lastWriter [128]producerRef
+	regBuf     []isa.Reg
 }
 
 // New validates cfg and returns a simulator.
@@ -144,7 +183,84 @@ func New(cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+// maxLatency bounds the schedule horizon for the completion wheel: the
+// longest unit latency plus the cache-miss penalty.
+func maxLatency(m *machine.Model) int {
+	lat := 1
+	for _, l := range []int{m.AluLat, m.ShiftLat, m.LdStLat, m.FPAddLat,
+		m.FPMulLat, m.FPDivLat, m.MulLat, m.DivLat, m.BranchLat} {
+		if l > lat {
+			lat = l
+		}
+	}
+	return lat + m.CacheMissPenalty
+}
+
+// resetMachinery prepares the reusable hot-loop state for a run.
+func (p *Pipeline) resetMachinery() {
+	m := p.model
+	if p.rob == nil || len(p.rob.buf) != m.ActiveList {
+		p.rob = newRing(m.ActiveList)
+	} else {
+		p.rob.reset()
+	}
+	p.fbuf.init(p.cfg.FetchBufferSize)
+	p.wheel.init(maxLatency(m))
+	for u := range p.ready {
+		p.ready[u].reset()
+	}
+	p.mem.init(m.ActiveList)
+	p.lastWriter = [128]producerRef{}
+	if p.regBuf == nil {
+		p.regBuf = make([]isa.Reg, 0, 4)
+	}
+}
+
+// newEntry takes an entry from the free list (or allocates one) and
+// resets it for dispatch.
+func (p *Pipeline) newEntry() *entry {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// recycle returns a committed entry to the free list. Its dependents
+// were drained at completion; stale producerRefs elsewhere are fenced
+// by the seq check, which fails once the entry is re-dispatched under a
+// new sequence number.
+func (p *Pipeline) recycle(e *entry) {
+	e.ev = interp.Event{}
+	e.seq = -1
+	e.pending = 0
+	e.ndeps = 0
+	e.depsOver = e.depsOver[:0]
+	p.free = append(p.free, e)
+}
+
+// depend adds a producer edge from ref to consumer c when ref still
+// names an in-flight, uncompleted instruction. Completed or committed
+// producers impose no wait, exactly as the old per-issue rescan
+// concluded for them every cycle.
+func depend(c *entry, ref producerRef) {
+	if !ref.active() {
+		return
+	}
+	c.pending++
+	ref.e.addDep(c)
+}
+
 // Run simulates the entire stream from src and returns the statistics.
+//
+// The loop is event-driven: instead of scanning the whole active list
+// twice per cycle, completion drains one timing-wheel bucket and issue
+// pops per-unit ready queues fed by pending-producer counters. Both
+// orderings reproduce the original oldest-first scans exactly, so Stats
+// are bit-identical to the scanning implementation (pinned by the
+// golden-stats test in internal/bench).
 func (p *Pipeline) Run(src Source) (Stats, error) {
 	m := p.model
 	queueCap := [numQueues]int{
@@ -153,26 +269,21 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		QFP:     m.FPQueue,
 		QBranch: m.BranchStack,
 	}
+	var unitCap [isa.NumUnitClasses]int
+	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+		unitCap[u] = m.UnitCount(u)
+	}
+	p.resetMachinery()
 
 	var (
-		rob        = newRing(m.ActiveList)
-		fetchBuf   []fetchItem
 		queueUsed  [numQueues]int
 		intRenames = m.RenameRegs
 		fpRenames  = m.RenameRegs
 
-		// lastWriter maps a register's encoding to its most recent
-		// writer. Committed entries stay valid producers (completed),
-		// so the map is never cleaned — it is bounded by the register
-		// count, and lastStore/lastLoad by the memory footprint.
-		lastWriter [128]*entry
-		lastStore  = map[int64]*entry{}
-		lastLoad   = map[int64]*entry{}
-
 		seq            int64
 		traceDone      bool
 		fetchStalledOn int64 = -1 // seq of the branch fetch waits on
-		fetchResumeAt  int64      // cycle fetch may resume (icache/mispredict)
+		fetchResumeAt  int64     // cycle fetch may resume (icache/mispredict)
 		lastCommit     int64
 	)
 
@@ -182,10 +293,9 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 	cycle := int64(0)
 	for {
 		// ---- Complete: finish execution, resolve branches. ----
-		rob.each(func(e *entry) {
-			if e.state != stIssued || e.complete > cycle {
-				return
-			}
+		// Drain this cycle's wheel bucket in program order and wake
+		// dependents whose last producer just finished.
+		for _, e := range p.wheel.take(cycle) {
 			e.state = stCompleted
 			if e.inQueue && e.queue == QBranch {
 				// Branch-stack entries are held until resolution.
@@ -210,16 +320,31 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 					fetchResumeAt = resume
 				}
 			}
-		})
+			for i := int32(0); i < e.ndeps; i++ {
+				c := e.deps[i]
+				e.deps[i] = nil
+				if c.pending--; c.pending == 0 {
+					p.ready[c.unit].push(c)
+				}
+			}
+			for i, c := range e.depsOver {
+				e.depsOver[i] = nil
+				if c.pending--; c.pending == 0 {
+					p.ready[c.unit].push(c)
+				}
+			}
+			e.ndeps = 0
+			e.depsOver = e.depsOver[:0]
+		}
 
 		// ---- Commit: in-order, up to IssueWidth per cycle. ----
 		committed := 0
-		for rob.len() > 0 && committed < m.IssueWidth {
-			e := rob.front()
+		for p.rob.len() > 0 && committed < m.IssueWidth {
+			e := p.rob.front()
 			if e.state != stCompleted {
 				break
 			}
-			rob.popFront()
+			p.rob.popFront()
 			committed++
 			s.Committed++
 			lastCommit = cycle
@@ -236,57 +361,52 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 					intRenames++
 				}
 			}
+			if e.ev.IsMem && !e.ev.Annulled {
+				p.mem.prune(e.ev.MemAddr, e)
+			}
+			p.recycle(e)
 		}
 
 		// ---- Issue: oldest-first, out of order, per-unit capacity. ----
 		var unitIssued [isa.NumUnitClasses]int
-		rob.each(func(e *entry) {
-			if e.state != stDispatched {
-				return
-			}
-			u := e.ev.Instr.Op.Unit()
-			if unitIssued[u] >= m.UnitCount(u) {
-				return
-			}
-			for _, pr := range e.producers {
-				if pr.state != stCompleted || pr.complete > cycle {
-					return
-				}
-			}
-			lat := m.Latency(e.ev.Instr.Op)
-			if e.ev.IsMem && !e.ev.Annulled && p.dcache != nil {
-				if !p.dcache.Access(uint64(e.ev.MemAddr)) {
-					lat += m.CacheMissPenalty
-					s.DCacheMisses++
-				}
-			}
-			e.state = stIssued
-			e.complete = cycle + int64(lat)
-			// Readiness is decided; drop the producer references so
-			// retired history becomes garbage-collectable (entries
-			// would otherwise chain the whole execution).
-			e.producers = nil
-			unitIssued[u]++
-			s.UnitBusy[u]++
-			if e.inQueue && e.queue != QBranch {
-				queueUsed[e.queue]--
-				e.inQueue = false
-			}
-		})
 		for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
-			if cnt := m.UnitCount(u); cnt > 0 && unitIssued[u] == cnt {
+			rq := &p.ready[u]
+			for unitIssued[u] < unitCap[u] && rq.len() > 0 {
+				e := rq.pop()
+				lat := m.Latency(e.ev.Instr.Op)
+				if e.ev.IsMem && !e.ev.Annulled && p.dcache != nil {
+					if !p.dcache.Access(uint64(e.ev.MemAddr)) {
+						lat += m.CacheMissPenalty
+						s.DCacheMisses++
+					}
+				}
+				if lat < 1 {
+					lat = 1 // results are visible to dependents next cycle at the earliest
+				}
+				e.state = stIssued
+				e.complete = cycle + int64(lat)
+				p.wheel.schedule(e, cycle)
+				unitIssued[u]++
+				s.UnitBusy[u]++
+				if e.inQueue && e.queue != QBranch {
+					queueUsed[e.queue]--
+					e.inQueue = false
+				}
+			}
+			if unitCap[u] > 0 && unitIssued[u] == unitCap[u] {
 				s.UnitFull[u]++
 			}
 		}
 
 		// ---- Dispatch: in-order from the fetch buffer. ----
 		dispatched := 0
-		for len(fetchBuf) > 0 && dispatched < m.IssueWidth {
-			item := fetchBuf[0]
-			if rob.full() {
+		for p.fbuf.len() > 0 && dispatched < m.IssueWidth {
+			item := p.fbuf.front()
+			if p.rob.full() {
 				break
 			}
-			q := queueOf(item.ev.Instr.Op.Unit())
+			u := item.ev.Instr.Op.Unit()
+			q := queueOf(u)
 			if queueUsed[q] >= queueCap[q] {
 				break
 			}
@@ -296,44 +416,39 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 					break
 				}
 			}
-			e := &entry{
-				ev:      item.ev,
-				seq:     item.seq,
-				queue:   q,
-				state:   stDispatched,
-				inQueue: true,
-				renamed: needsRename,
-				fpDest:  fp,
-			}
-			// Record register producers.
-			for _, r := range item.ev.Instr.Uses() {
-				if w := lastWriter[r]; w != nil {
-					e.producers = append(e.producers, w)
-				}
+			e := p.newEntry()
+			e.ev = item.ev
+			e.seq = item.seq
+			e.queue = q
+			e.unit = u
+			e.state = stDispatched
+			e.inQueue = true
+			e.renamed = needsRename
+			e.fpDest = fp
+			// Record register producers. A producer appearing twice
+			// (both operands from one register) is counted twice and
+			// wakes twice — the net pending count is still correct.
+			p.regBuf = e.ev.Instr.AppendUses(p.regBuf[:0])
+			for _, r := range p.regBuf {
+				depend(e, p.lastWriter[r])
 			}
 			// Memory ordering: exact disambiguation via trace addresses.
-			if item.ev.IsMem && !item.ev.Annulled {
-				addr := item.ev.MemAddr
-				if item.ev.Instr.Op.IsLoad() {
-					if st := lastStore[addr]; st != nil {
-						e.producers = append(e.producers, st)
-					}
-					lastLoad[addr] = e
+			if e.ev.IsMem && !e.ev.Annulled {
+				slot := p.mem.slot(e.ev.MemAddr)
+				depend(e, slot.store)
+				if e.ev.Instr.Op.IsLoad() {
+					slot.load = producerRef{e, e.seq}
 				} else {
-					if st := lastStore[addr]; st != nil {
-						e.producers = append(e.producers, st)
-					}
-					if ld := lastLoad[addr]; ld != nil {
-						e.producers = append(e.producers, ld)
-					}
-					lastStore[addr] = e
+					depend(e, slot.load)
+					slot.store = producerRef{e, e.seq}
 				}
 			}
 			// An annulled instruction's destination write is squashed,
 			// so it must not become a producer.
-			if !item.ev.Annulled {
-				for _, r := range item.ev.Instr.Defs() {
-					lastWriter[r] = e
+			if !e.ev.Annulled {
+				p.regBuf = e.ev.Instr.AppendDefs(p.regBuf[:0])
+				for _, r := range p.regBuf {
+					p.lastWriter[r] = producerRef{e, e.seq}
 				}
 			}
 			if needsRename {
@@ -344,15 +459,18 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 				}
 			}
 			queueUsed[q]++
-			rob.push(e)
-			fetchBuf = fetchBuf[1:]
+			p.rob.push(e)
+			p.fbuf.popFront()
 			dispatched++
+			if e.pending == 0 {
+				p.ready[u].push(e)
+			}
 		}
 
 		// ---- Fetch: up to IssueWidth, stopping at predicted-taken
 		// branches, stalls and I-cache misses. ----
 		if !traceDone && fetchStalledOn < 0 && cycle >= fetchResumeAt {
-			for fetched := 0; fetched < m.IssueWidth && len(fetchBuf) < p.cfg.FetchBufferSize; fetched++ {
+			for fetched := 0; fetched < m.IssueWidth && p.fbuf.len() < p.cfg.FetchBufferSize; fetched++ {
 				ev, ok, err := src.Next()
 				if err != nil {
 					return *s, err
@@ -366,11 +484,11 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 					fetchResumeAt = cycle + int64(m.CacheMissPenalty)
 					// The missing instruction still enters the buffer
 					// (its line is now resident); fetch pauses after it.
-					fetchBuf = append(fetchBuf, p.decodeFetch(ev, &seq, &fetchStalledOn))
+					p.fbuf.push(p.decodeFetch(ev, &seq, &fetchStalledOn))
 					break
 				}
 				item := p.decodeFetch(ev, &seq, &fetchStalledOn)
-				fetchBuf = append(fetchBuf, item)
+				p.fbuf.push(item)
 				if fetchStalledOn >= 0 {
 					break // fetch waits for this control transfer
 				}
@@ -394,12 +512,12 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		}
 
 		cycle++
-		if traceDone && rob.len() == 0 && len(fetchBuf) == 0 {
+		if traceDone && p.rob.len() == 0 && p.fbuf.len() == 0 {
 			break
 		}
 		if cycle-lastCommit > p.cfg.Watchdog {
 			return *s, fmt.Errorf("pipeline: no commit for %d cycles (simulator deadlock at cycle %d, rob=%d fetchBuf=%d)",
-				p.cfg.Watchdog, cycle, rob.len(), len(fetchBuf))
+				p.cfg.Watchdog, cycle, p.rob.len(), p.fbuf.len())
 		}
 	}
 
@@ -444,7 +562,8 @@ func (p *Pipeline) decodeFetch(ev interp.Event, seq *int64, stalledOn *int64) fe
 // destinations are compiler-synthesized condition codes and consume no
 // rename register.
 func destRename(in *isa.Instr) (needs, fp bool) {
-	for _, d := range in.Defs() {
+	var buf [1]isa.Reg
+	for _, d := range in.AppendDefs(buf[:0]) {
 		switch {
 		case d.IsInt():
 			return true, false

@@ -1,0 +1,58 @@
+package pipeline
+
+// seqHeap is a binary min-heap of ROB entries keyed by sequence number.
+// The issue stage keeps one heap per functional-unit class: popping
+// yields the oldest ready instruction of the class, which reproduces
+// the oldest-first priority of the original full-ROB scan (unit classes
+// share no issue-side state, so per-class ordering is equivalent to the
+// global ordering). The backing slice is retained across cycles and
+// runs, so pushes allocate only while the heap grows past its
+// historical high-water mark.
+type seqHeap struct {
+	a []*entry
+}
+
+func (h *seqHeap) len() int { return len(h.a) }
+
+func (h *seqHeap) reset() { h.a = h.a[:0] }
+
+func (h *seqHeap) push(e *entry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].seq <= h.a[i].seq {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *seqHeap) pop() *entry {
+	n := len(h.a)
+	top := h.a[0]
+	last := h.a[n-1]
+	h.a[n-1] = nil
+	h.a = h.a[:n-1]
+	if n > 1 {
+		h.a[0] = last
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < n-1 && h.a[l].seq < h.a[small].seq {
+				small = l
+			}
+			if r < n-1 && h.a[r].seq < h.a[small].seq {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h.a[i], h.a[small] = h.a[small], h.a[i]
+			i = small
+		}
+	}
+	return top
+}

@@ -48,3 +48,50 @@ func (r *ring) each(f func(*entry)) {
 		f(r.buf[(r.head+i)%len(r.buf)])
 	}
 }
+
+// reset empties the ring (leftovers are possible only after an aborted
+// run) without releasing its backing array.
+func (r *ring) reset() {
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.head, r.count = 0, 0
+}
+
+// fetchRing is the fetch/dispatch decoupling buffer: a fixed-capacity
+// FIFO of decoded instructions. The previous implementation resliced
+// `fetchBuf = fetchBuf[1:]` on every dispatch, which kept the backing
+// array's head alive and forced append to re-grow the slice over and
+// over; a circular buffer reuses the same FetchBufferSize items for the
+// whole run.
+type fetchRing struct {
+	buf   []fetchItem
+	head  int
+	count int
+}
+
+// init sizes the buffer to capacity and empties it, retaining the
+// backing array when it is already large enough.
+func (r *fetchRing) init(capacity int) {
+	if len(r.buf) < capacity {
+		r.buf = make([]fetchItem, capacity)
+	}
+	r.head, r.count = 0, 0
+}
+
+func (r *fetchRing) len() int { return r.count }
+
+func (r *fetchRing) push(it fetchItem) {
+	if r.count == len(r.buf) {
+		panic("pipeline: fetch buffer overflow")
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = it
+	r.count++
+}
+
+func (r *fetchRing) front() *fetchItem { return &r.buf[r.head] }
+
+func (r *fetchRing) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+}

@@ -1,0 +1,92 @@
+package pipeline
+
+// wheel is a timing wheel over ROB entries keyed by completion cycle.
+// Issue schedules each entry into the bucket of its completion cycle;
+// the Complete stage then drains exactly one bucket per cycle instead
+// of scanning the whole active list. Bucket count only needs to exceed
+// the worst-case operation latency (longest unit latency plus the cache
+// miss penalty), so the wheel is tiny and bucket slices are recycled —
+// steady state allocates nothing.
+type wheel struct {
+	buckets [][]*entry
+	pending int
+}
+
+// init sizes the wheel for a maximum schedule horizon of maxLat cycles
+// and clears any leftovers from an aborted run. Existing bucket
+// capacity is retained.
+func (w *wheel) init(maxLat int) {
+	size := maxLat + 2 // strict: delta < size must hold for every schedule
+	if size < 8 {
+		size = 8
+	}
+	if len(w.buckets) < size {
+		old := w.buckets
+		w.buckets = make([][]*entry, size)
+		copy(w.buckets, old)
+	}
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.pending = 0
+}
+
+// schedule files e under its completion cycle. now is the current
+// cycle; e.complete must already be clamped to now+1 or later.
+func (w *wheel) schedule(e *entry, now int64) {
+	if d := e.complete - now; int(d) >= len(w.buckets) {
+		w.grow(now, int(d))
+	}
+	i := int(e.complete % int64(len(w.buckets)))
+	w.buckets[i] = append(w.buckets[i], e)
+	w.pending++
+}
+
+// take removes and returns the bucket for the given cycle, sorted by
+// sequence number so completion-side effects (predictor training,
+// branch-stack release) happen in program order exactly as the full
+// ROB scan did. The returned slice is only valid until the next
+// schedule into the same bucket, which cannot happen before the
+// caller finishes draining it.
+func (w *wheel) take(cycle int64) []*entry {
+	i := int(cycle % int64(len(w.buckets)))
+	b := w.buckets[i]
+	w.buckets[i] = b[:0]
+	w.pending -= len(b)
+	sortEntriesBySeq(b)
+	return b
+}
+
+// grow rebuilds the wheel with a horizon covering need cycles,
+// re-filing every pending entry under the new modulus. Only reachable
+// when a model's latencies change between runs of a reused Pipeline.
+func (w *wheel) grow(now int64, need int) {
+	old := w.buckets
+	size := 2 * len(old)
+	for size <= need+1 {
+		size *= 2
+	}
+	w.buckets = make([][]*entry, size)
+	w.pending = 0
+	for _, b := range old {
+		for _, e := range b {
+			w.schedule(e, now)
+		}
+	}
+}
+
+// sortEntriesBySeq is an insertion sort: buckets are concatenations of
+// ascending runs (issue visits entries oldest-first within a cycle), so
+// on these near-sorted handfuls it beats sort.Slice and allocates
+// nothing.
+func sortEntriesBySeq(b []*entry) {
+	for i := 1; i < len(b); i++ {
+		e := b[i]
+		j := i - 1
+		for j >= 0 && b[j].seq > e.seq {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = e
+	}
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate the "after" measurements recorded in BENCH_pipeline.json.
+# Runs the pipeline microbenchmark, the pure trace-replay benchmark and
+# the full-suite wall clock, printing one JSON object to stdout.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/sgbench -benchjson
