@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench-json
+.PHONY: check vet build test bench-smoke bench-json fuzz-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet build test bench-smoke
+check: vet build test bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,12 @@ test:
 # without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkPipe -benchtime 1x ./internal/pipeline
+
+# A bounded sweep of the differential fuzzer (internal/fuzz): every
+# seed must pass the interp/pipeline/xform agreement oracle. Seconds,
+# not minutes; `sgfuzz -seeds 500` (or more) is the deep version.
+fuzz-smoke:
+	$(GO) run ./cmd/sgfuzz -seeds 50
 
 # Regenerate the "after" block of BENCH_pipeline.json.
 bench-json:

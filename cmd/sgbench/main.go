@@ -41,6 +41,18 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	tableSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "table" {
+			tableSet = true
+		}
+	})
+	if err := tableRangeErr(*table, tableSet); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if err := run(*table, *figure, *summary, *ablation, *entries, *par,
 		*benchjson, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbench:", err)
@@ -93,7 +105,7 @@ func run(table int, figure, summary, ablation bool, entries, par int,
 		fmt.Println(bench.FormatFigure2())
 	}
 	if table == 2 || !only {
-		fmt.Println(bench.FormatTable2(bench.NewRunner().Model))
+		fmt.Println(bench.FormatTable2(table2Model(newRunner)))
 	}
 	needRuns := !only || table == 1 || table == 3 || table == 4 || summary
 	if needRuns {
@@ -122,6 +134,22 @@ func run(table int, figure, summary, ablation bool, entries, par int,
 		}
 	}
 	return nil
+}
+
+// tableRangeErr validates an explicitly set -table value: an
+// out-of-range table used to select nothing and exit 0 silently.
+func tableRangeErr(table int, set bool) error {
+	if set && (table < 1 || table > 4) {
+		return fmt.Errorf("-table must be in 1..4, got %d", table)
+	}
+	return nil
+}
+
+// table2Model returns the machine model Table 2 is rendered from: the
+// configured runner's, so model overrides echo in the output instead
+// of a fresh default runner's.
+func table2Model(newRunner func() *bench.Runner) *machine.Model {
+	return newRunner().Model
 }
 
 // printAblation disables one optimizer arm at a time — the paper

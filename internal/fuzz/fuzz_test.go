@@ -1,0 +1,222 @@
+package fuzz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/machine"
+	"specguard/internal/profile"
+	"specguard/internal/prog"
+	"specguard/internal/xform"
+)
+
+// smokeSeeds is the bounded budget `make check` pays; cmd/sgfuzz runs
+// far larger sweeps.
+const smokeSeeds = 25
+
+// TestGenerateDeterministic pins the generator contract: one seed, one
+// program.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Src != b.Src {
+			t.Fatalf("seed %d generated two different programs", seed)
+		}
+	}
+	if Generate(1).Src == Generate(2).Src {
+		t.Fatal("distinct seeds generated identical programs")
+	}
+}
+
+// TestGenerateRoundTrips checks that generated programs survive the
+// print/parse cycle sgfuzz uses for corpus files.
+func TestGenerateRoundTrips(t *testing.T) {
+	c := Generate(7)
+	reparsed, err := asm.Parse(c.Prog.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if got, want := reparsed.String(), c.Prog.String(); got != want {
+		t.Fatalf("print/parse not stable:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFuzzSmoke is the differential oracle over a bounded seed sweep —
+// the net every `make check` run casts over interp, pipeline and the
+// transform stack.
+func TestFuzzSmoke(t *testing.T) {
+	o := NewOracle()
+	for seed := int64(1); seed <= smokeSeeds; seed++ {
+		c := Generate(seed)
+		if err := o.Check(c.Prog); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, c.Src)
+		}
+	}
+}
+
+// brokenHoist is a deliberately unsound "speculation" pass: it moves
+// the first instruction of a hammock side above the branch without
+// renaming its destination, so the move is architecturally visible
+// whenever the other path runs. The oracle must catch it.
+func brokenHoist(p *prog.Program) bool {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b.CondBranch() == nil {
+				continue
+			}
+			h := xform.MatchHammock(f, b)
+			if h == nil {
+				continue
+			}
+			for _, side := range []*prog.Block{h.Taken, h.Fall} {
+				if side == nil || len(side.Body()) == 0 {
+					continue
+				}
+				in := side.Instrs[0]
+				side.Instrs = side.Instrs[1:]
+				term := b.Instrs[len(b.Instrs)-1]
+				b.Instrs = append(b.Instrs[:len(b.Instrs)-1], in, term)
+				f.MustRebuildCFG()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestOracleCatchesBrokenTransform mutation-tests the oracle: with an
+// unsound hoist injected after every variant's transforms, at least one
+// seed inside the smoke budget must produce a state divergence.
+func TestOracleCatchesBrokenTransform(t *testing.T) {
+	o := NewOracle()
+	mutated := false
+	o.Mutate = func(name string, p *prog.Program) {
+		if brokenHoist(p) {
+			mutated = true
+		}
+	}
+	for seed := int64(1); seed <= smokeSeeds; seed++ {
+		c := Generate(seed)
+		err := o.Check(c.Prog)
+		if err == nil {
+			continue
+		}
+		f, ok := err.(*Failure)
+		if !ok {
+			t.Fatalf("seed %d: non-Failure error: %v", seed, err)
+		}
+		if strings.HasPrefix(f.Check, "variant-state:") {
+			return // caught — the oracle sees through the broken transform
+		}
+		t.Fatalf("seed %d: broken hoist tripped the wrong oracle: %v", seed, f)
+	}
+	if !mutated {
+		t.Fatal("broken hoist never found a hammock to corrupt")
+	}
+	t.Fatal("broken hoist was never caught within the smoke budget")
+}
+
+// TestShrinkPreservesFailure drives the shrinker with a variant that
+// drops the program's first store — a planted miscompile — and checks
+// the reduction still fails the same check and got no larger.
+func TestShrinkPreservesFailure(t *testing.T) {
+	o := NewOracle()
+	o.Variants = append(o.Variants, Variant{
+		Name: "drop-store",
+		Apply: func(p *prog.Program, _ *profile.Profile, _ *machine.Model) error {
+			f := p.EntryFunc()
+			for _, b := range f.Blocks {
+				for i, in := range b.Body() {
+					if in.Op.String() == "sw" {
+						b.Instrs = append(b.Instrs[:i:i], b.Instrs[i+1:]...)
+						f.MustRebuildCFG()
+						return nil
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	var failing *prog.Program
+	var check string
+	for seed := int64(1); seed <= smokeSeeds; seed++ {
+		c := Generate(seed)
+		if err := o.Check(c.Prog); err != nil {
+			f := err.(*Failure)
+			if f.Check != "variant-state:drop-store" {
+				t.Fatalf("seed %d: planted bug tripped the wrong oracle: %v", seed, f)
+			}
+			failing, check = c.Prog, f.Check
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("planted store-dropping bug never caught")
+	}
+
+	shrunk := Shrink(o, failing, check, 200)
+	if shrunk.NumInstrs() > failing.NumInstrs() {
+		t.Fatalf("shrink grew the program: %d -> %d instrs", failing.NumInstrs(), shrunk.NumInstrs())
+	}
+	err := o.Check(shrunk)
+	f, ok := err.(*Failure)
+	if !ok || f.Check != check {
+		t.Fatalf("shrunk program no longer fails %s: %v", check, err)
+	}
+	t.Logf("shrunk %d -> %d instructions", failing.NumInstrs(), shrunk.NumInstrs())
+}
+
+// FuzzDifferential is the native fuzzing entry point: any seed must
+// pass the whole battery.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 10; seed++ {
+		f.Add(seed)
+	}
+	o := NewOracle()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Generate(seed)
+		if err := o.Check(c.Prog); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, c.Src)
+		}
+	})
+}
+
+// FuzzProfileLoad hammers the profile deserializer with arbitrary
+// bytes: it must never panic, and anything it accepts must re-save and
+// re-load to the same profile (no phantom state smuggled through).
+func FuzzProfileLoad(f *testing.F) {
+	var seedBuf bytes.Buffer
+	p := profile.NewProfile()
+	p.Record("main.loop", true)
+	p.Record("main.loop", false)
+	if err := p.Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte(`{"version":1,"sites":{"a":{"count":3,"bits":"/w=="}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := profile.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out1 bytes.Buffer
+		if err := p1.Save(&out1); err != nil {
+			t.Fatalf("accepted profile fails to save: %v", err)
+		}
+		p2, err := profile.Load(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("saved profile fails to load: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := p2.Save(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("save/load not a fixpoint:\n%s\n%s", out1.Bytes(), out2.Bytes())
+		}
+	})
+}

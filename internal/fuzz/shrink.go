@@ -1,0 +1,71 @@
+package fuzz
+
+import "specguard/internal/prog"
+
+// Shrink reduces p while the oracle keeps reporting the same check as
+// the original failure. It deletes body (non-terminator) instructions
+// in halving chunks — a ddmin-style pass — so the control-flow skeleton
+// stays verifiable and only the computation thins out. A reduction that
+// changes the failure (say, from a state divergence to a bare runtime
+// error) is rejected: the check name is the shrinker's compass.
+//
+// budget caps the number of oracle invocations; Shrink returns the
+// smallest reproducer found when it runs out.
+func Shrink(o *Oracle, p *prog.Program, check string, budget int) *prog.Program {
+	cur := p.Clone()
+	sameFailure := func(trial *prog.Program) bool {
+		err := o.Check(trial)
+		f, ok := err.(*Failure)
+		return ok && f.Check == check
+	}
+
+	changed := true
+	for changed && budget > 0 {
+		changed = false
+		for _, f := range cur.Funcs {
+			for _, b := range f.Blocks {
+				body := len(b.Body())
+				for size := body; size >= 1; size /= 2 {
+					for start := 0; start+size <= len(b.Body()); {
+						if budget <= 0 {
+							return cur
+						}
+						trial := deleteRange(cur, f.Name, b.Name, start, size)
+						budget--
+						if trial != nil && sameFailure(trial) {
+							cur = trial
+							// Deleted instructions shift the rest left;
+							// retry the same start index.
+							f = cur.Func(f.Name)
+							b = f.Block(b.Name)
+							changed = true
+						} else {
+							start += size
+						}
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// deleteRange clones p with body instructions [start, start+size) of
+// the named block removed, or returns nil when the range is stale.
+func deleteRange(p *prog.Program, fn, blk string, start, size int) *prog.Program {
+	q := p.Clone()
+	f := q.Func(fn)
+	if f == nil {
+		return nil
+	}
+	b := f.Block(blk)
+	if b == nil || start+size > len(b.Body()) {
+		return nil
+	}
+	b.Instrs = append(b.Instrs[:start:start], b.Instrs[start+size:]...)
+	f.MustRebuildCFG()
+	if err := prog.Verify(q, prog.VerifyIR); err != nil {
+		return nil
+	}
+	return q
+}

@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"specguard/internal/isa"
+)
+
+// Self-checking mode: when Config.SelfCheck is set, Run audits the
+// event-driven machinery at the end of every cycle and after the run
+// completes. The checks restate the conservation laws the hot loop
+// relies on but never re-derives:
+//
+//   - completion wheel: the pending counter equals the number of
+//     entries filed across all buckets, every filed entry is in the
+//     issued state, and each sits in the bucket of its completion
+//     cycle, which lies strictly in the future;
+//   - ready queues: every queued entry is dispatched with a zero
+//     producer counter, no in-flight entry's counter is negative, and
+//     the heap-order property holds;
+//   - memory-disambiguation table: the occupancy counter matches a
+//     recount of live slots, occupancy never exceeds the active list,
+//     no slot holds a stale (already committed) reference, every slot
+//     is reachable from its probe home, and every live slot still has
+//     an owner;
+//   - reorder buffer and free list: sequence numbers strictly increase
+//     front to back, recycled entries are fully scrubbed, and the
+//     rename-register pools balance against the entries holding them.
+//
+// The audit costs a full scan of the in-flight state per cycle, so it
+// is strictly opt-in — the differential fuzzer (internal/fuzz) runs
+// every simulation with it enabled; production runs leave it off and
+// pay only one predictable branch per cycle.
+
+// checkInvariants audits the machinery at the end of one cycle.
+// queueUsed, intRenames and fpRenames are Run's cycle-local bookkeeping
+// counters, passed in so the audit can balance them against a recount.
+func (p *Pipeline) checkInvariants(cycle int64, queueUsed *[numQueues]int, intRenames, fpRenames int) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("pipeline: selfcheck cycle %d: %s", cycle, fmt.Sprintf(format, args...))
+	}
+
+	// --- Reorder buffer scan. ---
+	var (
+		prevSeq   int64 = -1
+		first           = true
+		issued    int
+		renamedInt, renamedFP int
+		queued    [numQueues]int
+		scanErr   error
+	)
+	p.rob.each(func(e *entry) {
+		if scanErr != nil {
+			return
+		}
+		if !first && e.seq <= prevSeq {
+			scanErr = fail("ROB seq not strictly increasing: %d after %d", e.seq, prevSeq)
+			return
+		}
+		first, prevSeq = false, e.seq
+		if e.state > stCompleted {
+			scanErr = fail("ROB entry seq=%d has invalid state %d", e.seq, e.state)
+			return
+		}
+		if e.pending < 0 {
+			scanErr = fail("ROB entry seq=%d has negative producer counter %d", e.seq, e.pending)
+			return
+		}
+		if e.state == stIssued {
+			issued++
+		}
+		if e.inQueue {
+			queued[e.queue]++
+		}
+		if e.renamed {
+			if e.fpDest {
+				renamedFP++
+			} else {
+				renamedInt++
+			}
+		}
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+
+	// --- Dispatch-queue occupancy balances the recount. ---
+	for q := Queue(0); q < numQueues; q++ {
+		if queueUsed[q] != queued[q] {
+			return fail("queue %v occupancy counter %d != recount %d", q, queueUsed[q], queued[q])
+		}
+		if queueUsed[q] < 0 {
+			return fail("queue %v occupancy negative: %d", q, queueUsed[q])
+		}
+	}
+
+	// --- Rename-register pools balance the holders. ---
+	m := p.model
+	if intRenames+renamedInt != m.RenameRegs {
+		return fail("int rename pool %d + holders %d != %d", intRenames, renamedInt, m.RenameRegs)
+	}
+	if fpRenames+renamedFP != m.RenameRegs {
+		return fail("fp rename pool %d + holders %d != %d", fpRenames, renamedFP, m.RenameRegs)
+	}
+
+	// --- Completion wheel conservation. ---
+	filed := 0
+	for i, b := range p.wheel.buckets {
+		for _, e := range b {
+			filed++
+			if e.state != stIssued {
+				return fail("wheel bucket %d holds entry seq=%d in state %d (want issued)", i, e.seq, e.state)
+			}
+			if e.complete <= cycle {
+				return fail("wheel bucket %d holds entry seq=%d completing at %d (cycle already past)", i, e.seq, e.complete)
+			}
+			if int(e.complete%int64(len(p.wheel.buckets))) != i {
+				return fail("entry seq=%d completing at %d filed in bucket %d of %d", e.seq, e.complete, i, len(p.wheel.buckets))
+			}
+		}
+	}
+	if filed != p.wheel.pending {
+		return fail("wheel pending counter %d != filed entries %d", p.wheel.pending, filed)
+	}
+	if filed != issued {
+		return fail("wheel holds %d entries but ROB has %d issued", filed, issued)
+	}
+
+	// --- Ready queues. ---
+	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+		a := p.ready[u].a
+		for i, e := range a {
+			if e.state != stDispatched {
+				return fail("ready[%v] holds entry seq=%d in state %d (want dispatched)", u, e.seq, e.state)
+			}
+			if e.pending != 0 {
+				return fail("ready[%v] holds entry seq=%d with pending=%d", u, e.seq, e.pending)
+			}
+			if i > 0 && a[(i-1)/2].seq > e.seq {
+				return fail("ready[%v] heap order violated at index %d", u, i)
+			}
+		}
+	}
+
+	// --- Memory-disambiguation table. ---
+	if err := p.checkMemTable(fail); err != nil {
+		return err
+	}
+
+	// --- Free list. ---
+	for i, e := range p.free {
+		if e.seq != -1 || e.pending != 0 || e.ndeps != 0 || len(e.depsOver) != 0 {
+			return fail("free list entry %d not scrubbed (seq=%d pending=%d ndeps=%d over=%d)",
+				i, e.seq, e.pending, e.ndeps, len(e.depsOver))
+		}
+	}
+	return nil
+}
+
+// checkMemTable audits the open-addressed disambiguation table.
+func (p *Pipeline) checkMemTable(fail func(string, ...any) error) error {
+	t := &p.mem
+	live := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.live {
+			continue
+		}
+		live++
+		if s.store.e == nil && s.load.e == nil {
+			return fail("memdis slot %d (addr %#x) live with no owner", i, s.addr)
+		}
+		for _, ref := range []producerRef{s.store, s.load} {
+			if ref.e != nil && ref.e.seq != ref.seq {
+				return fail("memdis slot %d (addr %#x) holds stale ref seq=%d (entry now %d)",
+					i, s.addr, ref.seq, ref.e.seq)
+			}
+		}
+		// Probe-chain reachability: walking from the home slot must hit
+		// this slot before any empty one, or lookups would miss it.
+		for j := t.home(s.addr); ; j = (j + 1) & t.mask {
+			if j == uint64(i) {
+				break
+			}
+			if !t.slots[j].live {
+				return fail("memdis slot %d (addr %#x) unreachable: empty slot %d breaks its probe chain", i, s.addr, j)
+			}
+		}
+	}
+	if live != t.used {
+		return fail("memdis occupancy counter %d != live recount %d", t.used, live)
+	}
+	if t.used > p.rob.len() {
+		return fail("memdis occupancy %d exceeds in-flight instructions %d", t.used, p.rob.len())
+	}
+	if 4*t.used > 3*len(t.slots) {
+		return fail("memdis load factor exceeded: %d of %d", t.used, len(t.slots))
+	}
+	return nil
+}
+
+// checkDrained audits the post-run state: everything in flight must
+// have been committed and recycled.
+func (p *Pipeline) checkDrained(cycle int64, queueUsed *[numQueues]int, intRenames, fpRenames int) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("pipeline: selfcheck post-run: %s", fmt.Sprintf(format, args...))
+	}
+	if n := p.rob.len(); n != 0 {
+		return fail("ROB holds %d entries", n)
+	}
+	if p.wheel.pending != 0 {
+		return fail("wheel still has %d pending completions", p.wheel.pending)
+	}
+	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+		if n := p.ready[u].len(); n != 0 {
+			return fail("ready[%v] holds %d entries", u, n)
+		}
+	}
+	if p.mem.used != 0 {
+		return fail("memdis still tracks %d addresses", p.mem.used)
+	}
+	for q := Queue(0); q < numQueues; q++ {
+		if queueUsed[q] != 0 {
+			return fail("queue %v occupancy %d", q, queueUsed[q])
+		}
+	}
+	if intRenames != p.model.RenameRegs || fpRenames != p.model.RenameRegs {
+		return fail("rename pools not restored: int=%d fp=%d want %d",
+			intRenames, fpRenames, p.model.RenameRegs)
+	}
+	return p.checkInvariants(cycle, queueUsed, intRenames, fpRenames)
+}

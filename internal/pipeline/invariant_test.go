@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+	"specguard/internal/predict"
+)
+
+const invariantKernel = `
+func main:
+entry:
+	li r1, 0
+	li r5, 512
+loop:
+	and r2, r1, 7
+	sll r3, r2, 3
+	add r3, r3, r5
+	lw r4, 0(r3)
+	add r4, r4, 1
+	sw r4, 0(r3)
+	beq r2, 0, sp
+pl:
+	add r6, r6, 1
+	j next
+sp:
+	sub r7, r7, 1
+next:
+	add r1, r1, 1
+	blt r1, 3000, loop
+exit:
+	halt
+`
+
+// TestSelfCheckCleanRun pins two properties: a healthy simulation
+// passes every per-cycle audit, and enabling the audit does not perturb
+// the statistics.
+func TestSelfCheckCleanRun(t *testing.T) {
+	run := func(selfCheck bool) Stats {
+		m, err := interp.New(asm.MustParse(invariantKernel), nil, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512), SelfCheck: selfCheck})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := sim.Run(NewInterpSource(m))
+		if err != nil {
+			t.Fatalf("selfCheck=%v: %v", selfCheck, err)
+		}
+		return stats
+	}
+	plain, audited := run(false), run(true)
+	if !reflect.DeepEqual(plain, audited) {
+		t.Fatalf("SelfCheck perturbed the statistics:\nplain:   %+v\naudited: %+v", plain, audited)
+	}
+}
+
+// newCheckedPipeline builds a pipeline with initialized machinery, ready
+// for direct state surgery.
+func newCheckedPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := New(Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512), SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.resetMachinery()
+	return p
+}
+
+// TestSelfCheckDetectsCorruption corrupts each audited structure in
+// turn and verifies the checker names the violation.
+func TestSelfCheckDetectsCorruption(t *testing.T) {
+	model := machine.R10000()
+	full := model.RenameRegs
+	cases := []struct {
+		name    string
+		corrupt func(p *Pipeline)
+		want    string
+	}{
+		{
+			name: "negative producer counter",
+			corrupt: func(p *Pipeline) {
+				p.rob.push(&entry{seq: 1, state: stDispatched, pending: -1})
+			},
+			want: "negative producer counter",
+		},
+		{
+			name: "seq order",
+			corrupt: func(p *Pipeline) {
+				p.rob.push(&entry{seq: 9, state: stCompleted})
+				p.rob.push(&entry{seq: 4, state: stCompleted})
+			},
+			want: "not strictly increasing",
+		},
+		{
+			name: "wheel pending drift",
+			corrupt: func(p *Pipeline) {
+				e := &entry{seq: 1, state: stIssued, complete: 5}
+				p.rob.push(e)
+				p.wheel.schedule(e, 0)
+				p.wheel.pending++ // conservation broken
+			},
+			want: "wheel pending counter",
+		},
+		{
+			name: "wheel holds unissued entry",
+			corrupt: func(p *Pipeline) {
+				e := &entry{seq: 1, state: stDispatched, complete: 5}
+				p.rob.push(e)
+				p.wheel.schedule(e, 0)
+			},
+			want: "want issued",
+		},
+		{
+			name: "ready entry with pending producers",
+			corrupt: func(p *Pipeline) {
+				e := &entry{seq: 1, state: stDispatched, pending: 2}
+				p.rob.push(e)
+				p.ready[0].push(e)
+			},
+			want: "with pending",
+		},
+		{
+			name: "memdis occupancy drift",
+			corrupt: func(p *Pipeline) {
+				e := &entry{seq: 1, state: stDispatched}
+				p.rob.push(e)
+				p.mem.slot(0x40).store = producerRef{e, 1}
+				p.mem.used++ // counter drift
+			},
+			want: "occupancy counter",
+		},
+		{
+			name: "memdis stale reference",
+			corrupt: func(p *Pipeline) {
+				e := &entry{seq: 1, state: stDispatched}
+				p.rob.push(e)
+				stale := &entry{seq: 7} // ref recorded before recycle...
+				p.mem.slot(0x40).store = producerRef{stale, 3}
+			},
+			want: "stale ref",
+		},
+		{
+			name: "memdis ownerless slot",
+			corrupt: func(p *Pipeline) {
+				p.rob.push(&entry{seq: 1, state: stDispatched})
+				p.mem.slot(0x40) // live slot, both refs nil
+			},
+			want: "no owner",
+		},
+		{
+			name: "free list not scrubbed",
+			corrupt: func(p *Pipeline) {
+				p.free = append(p.free, &entry{seq: 12})
+			},
+			want: "not scrubbed",
+		},
+		{
+			name: "rename pool imbalance",
+			corrupt: func(p *Pipeline) {
+				p.rob.push(&entry{seq: 1, state: stDispatched, renamed: true})
+				// caller-side counter says nothing was taken
+			},
+			want: "rename pool",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newCheckedPipeline(t)
+			tc.corrupt(p)
+			var queueUsed [numQueues]int
+			err := p.checkInvariants(0, &queueUsed, full, full)
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSelfCheckQueueRecount verifies the occupancy balance check.
+func TestSelfCheckQueueRecount(t *testing.T) {
+	p := newCheckedPipeline(t)
+	e := &entry{seq: 1, state: stDispatched, inQueue: true, queue: QInt}
+	p.rob.push(e)
+	var queueUsed [numQueues]int // claims zero occupancy
+	full := p.model.RenameRegs
+	err := p.checkInvariants(0, &queueUsed, full, full)
+	if err == nil || !strings.Contains(err.Error(), "occupancy counter") {
+		t.Fatalf("queue drift not detected: %v", err)
+	}
+	queueUsed[QInt] = 1
+	if err := p.checkInvariants(0, &queueUsed, full, full); err != nil {
+		t.Fatalf("consistent state rejected: %v", err)
+	}
+}

@@ -79,6 +79,12 @@ type Config struct {
 	// Stats.SiteMispredicts (off by default: it costs a map op per
 	// mispredict).
 	TrackBranchSites bool
+	// SelfCheck audits the hot-loop machinery (completion wheel, ready
+	// queues, disambiguation table, ROB free list, rename pools) at the
+	// end of every cycle and aborts the run on the first violation. It
+	// costs a full scan of the in-flight state per cycle; the
+	// differential fuzzer enables it, production runs leave it off.
+	SelfCheck bool
 }
 
 type entryState uint8
@@ -511,8 +517,19 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 			}
 		}
 
+		if p.cfg.SelfCheck {
+			if err := p.checkInvariants(cycle, &queueUsed, intRenames, fpRenames); err != nil {
+				return *s, err
+			}
+		}
+
 		cycle++
 		if traceDone && p.rob.len() == 0 && p.fbuf.len() == 0 {
+			if p.cfg.SelfCheck {
+				if err := p.checkDrained(cycle, &queueUsed, intRenames, fpRenames); err != nil {
+					return *s, err
+				}
+			}
 			break
 		}
 		if cycle-lastCommit > p.cfg.Watchdog {

@@ -66,9 +66,22 @@ func Load(r io.Reader) (*Profile, error) {
 		if err != nil {
 			return nil, fmt.Errorf("profile: site %q: %w", id, err)
 		}
+		if len(raw)%8 != 0 {
+			return nil, fmt.Errorf("profile: site %q: ragged %d-byte payload", id, len(raw))
+		}
 		words := unpackWords(raw)
-		if need := (s.Count + 63) / 64; len(words) < need {
+		need := (s.Count + 63) / 64
+		if len(words) < need {
 			return nil, fmt.Errorf("profile: site %q: %d words for %d outcomes", id, len(words), s.Count)
+		}
+		if len(words) > need {
+			return nil, fmt.Errorf("profile: site %q: %d surplus payload words", id, len(words)-need)
+		}
+		// Mask any set bits beyond Count in the final word: Append only
+		// ORs into the current word, so a stray bit here would resurface
+		// as a phantom taken outcome the next time the vector grows.
+		if rem := uint(s.Count % 64); rem != 0 {
+			words[need-1] &= (1 << rem) - 1
 		}
 		p.sites[id] = &BranchProfile{
 			Site:     id,

@@ -2,9 +2,11 @@ package profile
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"specguard/internal/asm"
 	"specguard/internal/interp"
@@ -109,6 +111,122 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 		`{"version": 1, "sites": {"x": {"count": -1, "bits": ""}}}`,
 		`{"version": 1, "sites": {"x": {"count": 8, "bits": "!!!"}}}`,
 		`{"version": 1, "sites": {"x": {"count": 1000, "bits": "AAAA"}}}`,
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("Load(%q) should fail", c)
+		}
+	}
+}
+
+// roundTripEquals saves p, loads it back and compares everything the
+// format carries, including a byte-identical re-save.
+func roundTripEquals(t *testing.T, p *Profile) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return "save: " + err.Error()
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	q, err := Load(&buf)
+	if err != nil {
+		return "load: " + err.Error()
+	}
+	if q.DynInstrs != p.DynInstrs || q.Annulled != p.Annulled {
+		return "header fields drifted"
+	}
+	a, b := p.Sites(), q.Sites()
+	if len(a) != len(b) {
+		return "site count drifted"
+	}
+	for i := range a {
+		if a[i].Site != b[i].Site || a[i].Outcomes.String() != b[i].Outcomes.String() {
+			return "site " + a[i].Site + " drifted"
+		}
+	}
+	var again bytes.Buffer
+	if err := q.Save(&again); err != nil {
+		return "re-save: " + err.Error()
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		return "re-save not byte-identical"
+	}
+	return ""
+}
+
+// TestQuickSaveLoadRoundTrip is the property-based half of the
+// serializer's coverage: arbitrary outcome vectors round-trip exactly.
+func TestQuickSaveLoadRoundTrip(t *testing.T) {
+	prop := func(vecs [][]bool, dyn, ann int64) bool {
+		p := NewProfile()
+		p.DynInstrs, p.Annulled = dyn, ann
+		for i, outcomes := range vecs {
+			site := fmt.Sprintf("f.b%d", i)
+			for _, taken := range outcomes {
+				p.Record(site, taken)
+			}
+		}
+		return roundTripEquals(t, p) == ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripWordBoundaries pins the lengths where the packed
+// representation changes shape — around each 64-bit word boundary —
+// plus a site that never executed (empty vector).
+func TestRoundTripWordBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		p := NewProfile()
+		if n == 0 {
+			// Record never creates an empty site; build one directly.
+			p.sites["f.empty"] = &BranchProfile{Site: "f.empty", Outcomes: &BitVector{}}
+		} else {
+			for i := 0; i < n; i++ {
+				p.Record("f.b", i%3 == 0)
+			}
+		}
+		if msg := roundTripEquals(t, p); msg != "" {
+			t.Errorf("length %d: %s", n, msg)
+		}
+	}
+}
+
+// TestLoadMasksStrayBits guards the phantom-outcome bug: a payload
+// word carrying set bits beyond Count used to survive Load verbatim,
+// and because BitVector.Append only ORs into the current word, the
+// first post-Load Append turned the stray bit into a phantom taken
+// outcome.
+func TestLoadMasksStrayBits(t *testing.T) {
+	// One recorded outcome (taken), but the payload word is 0b11: bit 1
+	// lies beyond Count.
+	in := `{"version":1,"sites":{"x":{"count":1,"bits":"AwAAAAAAAAA="}}}`
+	p, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := p.Site("x")
+	if got := bp.Outcomes.String(); got != "T" {
+		t.Fatalf("loaded outcomes = %q, want \"T\"", got)
+	}
+	bp.Outcomes.Append(false)
+	if got := bp.Outcomes.String(); got != "TF" {
+		t.Fatalf("after Append(false): outcomes = %q, want \"TF\" (stray bit became a phantom taken outcome)", got)
+	}
+}
+
+// TestLoadRejectsOversizedPayloads guards the other half of the same
+// bug: surplus trailing words and ragged (non-word-multiple) payloads
+// are corrupt input, not slack to be carried along.
+func TestLoadRejectsOversizedPayloads(t *testing.T) {
+	cases := []string{
+		// count=1 with two payload words; the second is pure surplus.
+		`{"version":1,"sites":{"x":{"count":1,"bits":"AQAAAAAAAAD//////////w=="}}}`,
+		// count=0 with a nonempty payload.
+		`{"version":1,"sites":{"x":{"count":0,"bits":"AAAAAAAAAAA="}}}`,
+		// ragged payload: 9 bytes is not a whole number of words.
+		`{"version":1,"sites":{"x":{"count":1,"bits":"AQAAAAAAAAAB"}}}`,
 	}
 	for _, c := range cases {
 		if _, err := Load(strings.NewReader(c)); err == nil {
