@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench-json fuzz-smoke
+.PHONY: check vet sgvet lint build test bench-smoke bench-json fuzz-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet build test bench-smoke fuzz-smoke
+check: vet sgvet build test lint bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Repo-local Go source checks (internal/analysis/govet): stock go vet
+# knows nothing about this repository's IR invariants.
+sgvet:
+	$(GO) run ./cmd/sgvet
+
+# Static legality lint of the example programs. Examples are
+# documentation, so warnings are errors here.
+lint:
+	$(GO) run ./cmd/sglint -werror examples/asm/*.s
 
 build:
 	$(GO) build ./...

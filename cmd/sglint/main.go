@@ -1,0 +1,87 @@
+// Command sglint runs the static legality analyzer over assembly
+// files: the same rule battery core.Optimize applies to its own
+// output, available standalone for hand-written or transformed code.
+//
+// Usage:
+//
+//	sglint prog.s more.s
+//	sglint -mode machine -json lowered.s
+//
+// Exit status: 0 when every file is clean (warnings allowed unless
+// -werror), 1 when any file carries error diagnostics, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specguard/internal/analysis"
+	"specguard/internal/asm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "ir", "verification mode: ir (guarded ops legal) or machine (cmov only)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (one object per file)")
+	werror := fs.Bool("werror", false, "treat warnings as errors for the exit status")
+	specLoads := fs.Bool("spec-loads", false, "vouch for speculative load addresses (SpecOptions.Loads)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "sglint: at least one assembly file is required")
+		return 2
+	}
+	m, err := analysis.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "sglint:", err)
+		return 2
+	}
+	opts := analysis.Options{Mode: m, AllowSpeculativeLoads: *specLoads}
+
+	status := 0
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(stderr, "sglint:", err)
+			return 2
+		}
+		p, err := asm.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "sglint: %s: %v\n", file, err)
+			return 2
+		}
+		res := analysis.Analyze(p, opts)
+		if *jsonOut {
+			out := struct {
+				File     string `json:"file"`
+				Errors   int    `json:"errors"`
+				Warnings int    `json:"warnings"`
+				*analysis.Result
+			}{file, res.Errors(), res.Warnings(), res}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(stderr, "sglint:", err)
+				return 2
+			}
+		} else {
+			for _, d := range res.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", file, d)
+			}
+		}
+		if res.Errors() > 0 || (*werror && res.Warnings() > 0) {
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// lint invokes the CLI entry point in-process.
+func lint(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitStatuses pins the CLI contract: 0 clean (warnings allowed),
+// 1 on errors or on warnings under -werror, 2 on usage/parse problems.
+func TestExitStatuses(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"testdata/clean.s"}, 0},
+		{"errors", []string{"testdata/bad.s"}, 1},
+		{"warn-only", []string{"testdata/warn.s"}, 0},
+		{"warn-werror", []string{"-werror", "testdata/warn.s"}, 1},
+		{"guarded-ir", []string{"-mode", "ir", "testdata/guarded.s"}, 0},
+		{"guarded-machine", []string{"-mode", "machine", "testdata/guarded.s"}, 1},
+		{"mixed-file-list", []string{"testdata/clean.s", "testdata/bad.s"}, 1},
+		{"no-files", nil, 2},
+		{"bad-mode", []string{"-mode", "bogus", "testdata/clean.s"}, 2},
+		{"missing-file", []string{"testdata/nope.s"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := lint(tc.args...)
+			if code != tc.want {
+				t.Fatalf("sglint %v: exit %d, want %d", tc.args, code, tc.want)
+			}
+		})
+	}
+}
+
+// TestHumanOutput checks the one-line-per-diagnostic format names the
+// file, the position and the stable rule ID.
+func TestHumanOutput(t *testing.T) {
+	code, out, _ := lint("testdata/bad.s")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	for _, want := range []string{
+		"testdata/bad.s: main.entry[1]: error: guard-undef-pred:",
+		"testdata/bad.s: main.mid[0]: warn: use-before-def:",
+		"testdata/bad.s: main.dead: warn: unreachable-block:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGoldenJSON locks the machine-readable output byte-for-byte —
+// rule IDs, severities and field names are a stable interface for
+// tooling built on -json.
+func TestGoldenJSON(t *testing.T) {
+	code, out, _ := lint("-json", "testdata/bad.s")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	golden, err := os.ReadFile("testdata/bad.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("-json output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+}

@@ -1,0 +1,12 @@
+func main:
+entry:
+	li r1, 1
+	(p1) mov r2, r1
+	blt r1, 10, end
+mid:
+	add r3, r3, 1
+	j end
+dead:
+	j end
+end:
+	halt

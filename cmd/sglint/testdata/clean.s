@@ -1,0 +1,10 @@
+func main:
+entry:
+	li r1, 0
+	li r8, 0
+loop:
+	add r1, r1, 1
+	sw r1, 0(r8)
+	blt r1, 10, loop
+done:
+	halt

@@ -1,0 +1,10 @@
+func main:
+entry:
+	li r2, 0
+	li r8, 0
+	peq p1, r2, 0
+	(p1) add r2, r2, 1
+	sw r2, 0(r8)
+	j end
+end:
+	halt

@@ -1,0 +1,10 @@
+func main:
+entry:
+	li r8, 0
+	add r3, r3, 1
+	sw r3, 0(r8)
+	j end
+dead:
+	j end
+end:
+	halt

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"specguard/internal/analysis"
 	"specguard/internal/asm"
 	"specguard/internal/bench"
 	"specguard/internal/core"
@@ -31,19 +32,33 @@ func main() {
 	alias := flag.Float64("alias", 0, "assume this predictor-aliasing probability")
 	quiet := flag.Bool("q", false, "print only the decision log")
 	dot := flag.Bool("dot", false, "emit the optimized entry function's CFG as Graphviz dot instead of assembly")
+	lint := flag.Bool("lint", false, "run the static legality analyzer over the input and the optimized output (diagnostics on stderr; errors exit 1)")
 	flag.Parse()
 
 	if (*workload == "") == (*file == "") {
 		fmt.Fprintln(os.Stderr, "sgopt: exactly one of -w or -f is required")
 		os.Exit(2)
 	}
-	if err := run(*workload, *file, *profileFile, *keepGuards, *alias, *quiet, *dot); err != nil {
+	if err := run(*workload, *file, *profileFile, *keepGuards, *alias, *quiet, *dot, *lint); err != nil {
 		fmt.Fprintln(os.Stderr, "sgopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, file, profileFile string, keepGuards bool, alias float64, quiet, dot bool) error {
+// lintProgram analyzes p, prints every diagnostic to stderr, and
+// returns an error when any carries error severity.
+func lintProgram(label string, p *prog.Program, opts analysis.Options) error {
+	res := analysis.Analyze(p, opts)
+	for _, d := range res.Diags {
+		fmt.Fprintf(os.Stderr, "sgopt: lint %s: %s\n", label, d)
+	}
+	if !res.Clean() {
+		return fmt.Errorf("lint: %s program has %d error(s)", label, res.Errors())
+	}
+	return nil
+}
+
+func run(workload, file, profileFile string, keepGuards bool, alias float64, quiet, dot, lint bool) error {
 	var w bench.Workload
 	if workload != "" {
 		var err error
@@ -64,6 +79,12 @@ func run(workload, file, profileFile string, keepGuards bool, alias float64, qui
 	}
 
 	before := w.Build()
+	if lint {
+		// The input is IR by definition: guarded ops are legal there.
+		if err := lintProgram("input", before, analysis.Options{Mode: analysis.ModeIR}); err != nil {
+			return err
+		}
+	}
 	var prof *profile.Profile
 	var err error
 	if profileFile != "" {
@@ -94,6 +115,17 @@ func run(workload, file, profileFile string, keepGuards bool, alias float64, qui
 	rep, err := core.Optimize(after, prof, machine.R10000(), opts)
 	if err != nil {
 		return err
+	}
+	if lint {
+		// Mirror the optimizer's own audit, but surface the warnings
+		// too: the audit only fails on errors.
+		outOpts := analysis.Options{Mode: analysis.ModeMachine, AllowSpeculativeLoads: opts.SpeculateLoads}
+		if keepGuards {
+			outOpts.Mode = analysis.ModeIR
+		}
+		if err := lintProgram("optimized", after, outOpts); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("=== decisions ===")

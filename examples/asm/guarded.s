@@ -1,0 +1,19 @@
+; A hand-predicated hammock: the max of two loaded values is selected
+; with a conditional move instead of a branch. Machine-legal as
+; written (cmov is the one guarded op the target can issue), so this
+; lints clean under -mode machine too.
+func main:
+entry:
+	li r8, 0
+	li r1, 41
+	li r2, 7
+	sw r1, 0(r8)
+	sw r2, 8(r8)
+	lw r3, 0(r8)
+	lw r4, 8(r8)
+	mov r5, r3
+	slt r6, r3, r4
+	peq p1, r6, 1
+	(p1) mov r5, r4
+	sw r5, 16(r8)
+	halt

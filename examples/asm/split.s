@@ -1,0 +1,33 @@
+; A hand-written split branch in the shape xform.SplitBranch emits:
+; an occurrence counter classifies each iteration into one of two
+; phases, and the dispatch chain routes it to a per-phase version.
+; The phase intervals [0, 50) and [50, 100) are disjoint and
+; exhaustive — exactly what the split-phase-overlap and split-counter
+; lint rules verify.
+func main:
+entry:
+	li r31, -1
+	li r1, 0
+	li r8, 0
+loop:
+	add r31, r31, 1
+	plt p1, r31, 50
+	bp p1, v1
+d2:
+	pge p2, r31, 50
+	plt p3, r31, 100
+	pand p4, p2, p3
+	bp p4, v2
+res:
+	j back
+v1:
+	add r1, r1, 1
+	j back
+v2:
+	add r1, r1, 2
+	j back
+back:
+	blt r31, 99, loop
+fini:
+	sw r1, 0(r8)
+	halt

@@ -1,0 +1,13 @@
+; Sum the first 100 integers into memory word 0.
+func main:
+entry:
+	li r1, 0
+	li r2, 0
+	li r8, 0
+loop:
+	add r1, r1, 1
+	add r2, r2, r1
+	blt r1, 100, loop
+done:
+	sw r2, 0(r8)
+	halt

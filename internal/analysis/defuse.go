@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"specguard/internal/isa"
+	"specguard/internal/prog"
+)
+
+// bitset is a dense bit vector over definition-site (or copy-fact)
+// indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (bs bitset) set(i int)      { bs[i/64] |= 1 << (uint(i) % 64) }
+func (bs bitset) has(i int) bool { return bs[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (bs bitset) clone() bitset {
+	c := make(bitset, len(bs))
+	copy(c, bs)
+	return c
+}
+
+func (bs bitset) or(o bitset) {
+	for i := range bs {
+		bs[i] |= o[i]
+	}
+}
+
+func (bs bitset) andNot(o bitset) {
+	for i := range bs {
+		bs[i] &^= o[i]
+	}
+}
+
+func (bs bitset) and(o bitset) {
+	for i := range bs {
+		bs[i] &= o[i]
+	}
+}
+
+func (bs bitset) setAll() {
+	for i := range bs {
+		bs[i] = ^uint64(0)
+	}
+}
+
+func (bs bitset) clear() {
+	for i := range bs {
+		bs[i] = 0
+	}
+}
+
+func (bs bitset) equal(o bitset) bool {
+	for i := range bs {
+		if bs[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DefSite is one static definition of a register.
+type DefSite struct {
+	Block *prog.Block
+	Index int
+	Instr *isa.Instr
+	Reg   isa.Reg
+}
+
+// ReachDefs holds the reaching-definitions solution for one function
+// and resolves def-use chains from it. Guarded defs generate but do not
+// kill (the guard may be false); a Call kills every site — what the
+// callee writes is unknown, so no definition is credited across it.
+type ReachDefs struct {
+	f     *prog.Func
+	sites []DefSite
+	// byReg[r] has a bit for every site defining r.
+	byReg map[isa.Reg]bitset
+	// siteOf[b] maps instruction index → site index (-1 for non-defs).
+	siteOf map[*prog.Block][]int
+	in     map[*prog.Block]bitset
+}
+
+// NewReachDefs solves reaching definitions over f.
+func NewReachDefs(f *prog.Func) *ReachDefs {
+	rd := &ReachDefs{
+		f:      f,
+		byReg:  make(map[isa.Reg]bitset),
+		siteOf: make(map[*prog.Block][]int, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		idx := make([]int, len(b.Instrs))
+		for i, in := range b.Instrs {
+			idx[i] = -1
+			for _, r := range in.Defs() {
+				if !r.Valid() {
+					continue
+				}
+				idx[i] = len(rd.sites)
+				rd.sites = append(rd.sites, DefSite{Block: b, Index: i, Instr: in, Reg: r})
+			}
+		}
+		rd.siteOf[b] = idx
+	}
+	n := len(rd.sites)
+	for i, s := range rd.sites {
+		if rd.byReg[s.Reg] == nil {
+			rd.byReg[s.Reg] = newBitset(n)
+		}
+		rd.byReg[s.Reg].set(i)
+	}
+
+	rd.in, _ = solve(f, flow[bitset]{
+		forward:  true,
+		boundary: func(b *prog.Block) bitset { return newBitset(n) },
+		top:      func() bitset { return newBitset(n) },
+		meet: func(a, b bitset) bitset {
+			c := a.clone()
+			c.or(b)
+			return c
+		},
+		equal: bitset.equal,
+		transfer: func(b *prog.Block, x bitset) bitset {
+			return rd.step(b, len(b.Instrs), x.clone())
+		},
+	})
+	return rd
+}
+
+// step advances the reaching set through b.Instrs[:n], mutating x.
+func (rd *ReachDefs) step(b *prog.Block, n int, x bitset) bitset {
+	idx := rd.siteOf[b]
+	for i := 0; i < n; i++ {
+		in := b.Instrs[i]
+		if in.Op == isa.Call {
+			x.clear()
+			continue
+		}
+		si := idx[i]
+		if si < 0 {
+			continue
+		}
+		if !in.Guarded() {
+			x.andNot(rd.byReg[rd.sites[si].Reg])
+		}
+		x.set(si)
+	}
+	return x
+}
+
+// ReachingAt returns the definition sites of r that reach instruction
+// idx of block b (idx == len(b.Instrs) means the block's out state).
+func (rd *ReachDefs) ReachingAt(b *prog.Block, idx int, r isa.Reg) []DefSite {
+	cur := rd.step(b, idx, rd.in[b].clone())
+	var out []DefSite
+	mask := rd.byReg[r]
+	if mask == nil {
+		return nil
+	}
+	for i, s := range rd.sites {
+		if mask.has(i) && cur.has(i) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// UniqueDef returns the single definition of r reaching (b, idx), or
+// nil if there are zero or several.
+func (rd *ReachDefs) UniqueDef(b *prog.Block, idx int, r isa.Reg) *DefSite {
+	sites := rd.ReachingAt(b, idx, r)
+	if len(sites) != 1 {
+		return nil
+	}
+	return &sites[0]
+}
+
+// copyPair is one (dst ← src) register copy fact.
+type copyPair struct {
+	dst, src isa.Reg
+}
+
+// CopyFacts holds the available-copies solution: a copy (d ← s) is
+// available at a point when an unguarded mov/fmov d, s has executed on
+// every path to it and neither d nor s has been redefined since. Any
+// def — guarded or not — of either side kills the fact, and a Call
+// kills everything.
+type CopyFacts struct {
+	f     *prog.Func
+	pairs []copyPair
+	index map[copyPair]int
+	// touching[r] has a bit for every pair mentioning r.
+	touching map[isa.Reg]bitset
+	in       map[*prog.Block]bitset
+}
+
+// NewCopyFacts solves available copies over f.
+func NewCopyFacts(f *prog.Func) *CopyFacts {
+	cf := &CopyFacts{
+		f:        f,
+		index:    make(map[copyPair]int),
+		touching: make(map[isa.Reg]bitset),
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if p, ok := copyOf(in); ok {
+				if _, dup := cf.index[p]; !dup {
+					cf.index[p] = len(cf.pairs)
+					cf.pairs = append(cf.pairs, p)
+				}
+			}
+		}
+	}
+	n := len(cf.pairs)
+	for i, p := range cf.pairs {
+		for _, r := range []isa.Reg{p.dst, p.src} {
+			if cf.touching[r] == nil {
+				cf.touching[r] = newBitset(n)
+			}
+			cf.touching[r].set(i)
+		}
+	}
+
+	universe := newBitset(n)
+	universe.setAll()
+	entry := f.Entry()
+	cf.in, _ = solve(f, flow[bitset]{
+		forward: true,
+		boundary: func(b *prog.Block) bitset {
+			if b == entry {
+				return newBitset(n)
+			}
+			// Unreachable no-pred block: optimistic top; the rules skip
+			// unreachable blocks anyway.
+			return universe.clone()
+		},
+		top: func() bitset { return universe.clone() },
+		meet: func(a, b bitset) bitset {
+			c := a.clone()
+			c.and(b)
+			return c
+		},
+		equal: bitset.equal,
+		transfer: func(b *prog.Block, x bitset) bitset {
+			return cf.step(b, len(b.Instrs), x.clone())
+		},
+	})
+	return cf
+}
+
+// copyOf reports whether in is an unguarded register copy.
+func copyOf(in *isa.Instr) (copyPair, bool) {
+	if (in.Op != isa.Mov && in.Op != isa.FMov) || in.Guarded() {
+		return copyPair{}, false
+	}
+	if !in.Rd.Valid() || !in.Rs.Valid() {
+		return copyPair{}, false
+	}
+	return copyPair{dst: in.Rd, src: in.Rs}, true
+}
+
+// step advances the available set through b.Instrs[:n], mutating x.
+func (cf *CopyFacts) step(b *prog.Block, n int, x bitset) bitset {
+	for i := 0; i < n; i++ {
+		in := b.Instrs[i]
+		if in.Op == isa.Call {
+			x.clear()
+			continue
+		}
+		for _, r := range in.Defs() {
+			if t := cf.touching[r]; t != nil {
+				x.andNot(t)
+			}
+		}
+		if p, ok := copyOf(in); ok {
+			x.set(cf.index[p])
+		}
+	}
+	return x
+}
+
+// AvailableAt reports whether the copy (dst ← src) is available just
+// before instruction idx of block b.
+func (cf *CopyFacts) AvailableAt(b *prog.Block, idx int, dst, src isa.Reg) bool {
+	i, ok := cf.index[copyPair{dst: dst, src: src}]
+	if !ok {
+		return false
+	}
+	return cf.step(b, idx, cf.in[b].clone()).has(i)
+}

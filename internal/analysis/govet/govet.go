@@ -1,0 +1,160 @@
+// Package govet is a repo-local static check over the Go source tree
+// itself (as opposed to internal/analysis, which checks the simulated
+// programs). Its single rule guards the IR's central mutation
+// invariant:
+//
+//	instrs-mutation: prog.Block.Instrs may be assigned only inside
+//	internal/xform (the transforms) and internal/prog (the IR's own
+//	builders). Everywhere else the instruction list is read-only —
+//	a stray append in an analysis or driver silently invalidates the
+//	CFG, liveness and every cached dataflow fact derived from it.
+//
+// Test files are exempt (they build fixture programs by hand), and a
+// deliberate exception is granted by the directive comment
+//
+//	//sgvet:allow instrs-mutation
+//
+// on the offending line or the line directly above it.
+//
+// The checker is built on the standard library's go/parser and go/ast
+// alone so it runs in hermetic environments without golang.org/x/tools.
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// directive is the comment that suppresses a finding.
+const directive = "sgvet:allow instrs-mutation"
+
+// allowedDirs are repo-relative directories (and their subtrees) where
+// Instrs mutation is the point.
+var allowedDirs = []string{
+	filepath.Join("internal", "xform"),
+	filepath.Join("internal", "prog"),
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos string // file:line:col, file relative to the checked root
+	Msg string
+}
+
+func (f Finding) String() string { return f.Pos + ": " + f.Msg }
+
+// CheckDir walks the Go source tree under root and returns every
+// violation, in walk order. Vendor-less repo layout is assumed: .git
+// and testdata subtrees are skipped.
+func CheckDir(root string) ([]Finding, error) {
+	var findings []Finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, dir := range allowedDirs {
+			if strings.HasPrefix(rel, dir+string(filepath.Separator)) {
+				return nil
+			}
+		}
+		fs, err := CheckFile(path, rel)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	return findings, err
+}
+
+// CheckFile parses one Go source file and reports its violations,
+// positions rendered against displayPath.
+func CheckFile(path, displayPath string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return check(fset, file, displayPath), nil
+}
+
+// check runs the rule over one parsed file.
+func check(fset *token.FileSet, file *ast.File, displayPath string) []Finding {
+	allowed := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == directive {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !mutatesInstrs(lhs) {
+				continue
+			}
+			pos := fset.Position(lhs.Pos())
+			if allowed[pos.Line] || allowed[pos.Line-1] {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos: fmt.Sprintf("%s:%d:%d", displayPath, pos.Line, pos.Column),
+				Msg: "direct mutation of Block.Instrs outside internal/xform and internal/prog" +
+					" (add //" + directive + " if deliberate)",
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// mutatesInstrs reports whether the assignment target expr writes
+// through a selector named Instrs: `b.Instrs = ...`,
+// `b.Instrs[i] = ...`, `f.Blocks[0].Instrs = ...`, slices included.
+func mutatesInstrs(expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Instrs" {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package govet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSrc writes src to a temp file and runs the checker on it.
+func checkSrc(t *testing.T, src string) []Finding {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckFile(path, "x.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestRule(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "plain-assign",
+			src: `package p
+func f(b *Block) { b.Instrs = nil }`,
+			want: 1,
+		},
+		{
+			name: "append",
+			src: `package p
+func f(b *Block, in *Instr) { b.Instrs = append(b.Instrs, in) }`,
+			want: 1,
+		},
+		{
+			name: "element-store",
+			src: `package p
+func f(b *Block, in *Instr) { b.Instrs[0] = in }`,
+			want: 1,
+		},
+		{
+			name: "through-index-chain",
+			src: `package p
+func f(fn *Func) { fn.Blocks[0].Instrs = fn.Blocks[0].Instrs[1:] }`,
+			want: 1,
+		},
+		{
+			name: "read-only-use",
+			src: `package p
+func f(b *Block) int { return len(b.Instrs) }`,
+			want: 0,
+		},
+		{
+			name: "unrelated-field",
+			src: `package p
+func f(b *Block) { b.Name = "x" }`,
+			want: 0,
+		},
+		{
+			name: "local-variable-named-instrs",
+			src: `package p
+func f() { instrs := 1; _ = instrs }`,
+			want: 0,
+		},
+		{
+			name: "directive-same-line",
+			src: `package p
+func f(b *Block) { b.Instrs = nil } //sgvet:allow instrs-mutation`,
+			want: 0,
+		},
+		{
+			name: "directive-line-above",
+			src: `package p
+func f(b *Block) {
+	//sgvet:allow instrs-mutation
+	b.Instrs = nil
+}`,
+			want: 0,
+		},
+		{
+			name: "directive-too-far",
+			src: `package p
+//sgvet:allow instrs-mutation
+
+func f(b *Block) {
+	b.Instrs = nil
+}`,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkSrc(t, tc.src)
+			if len(got) != tc.want {
+				t.Fatalf("want %d findings, got %v", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestCheckDirAllowlistAndSkips builds a miniature tree and checks the
+// directory policy: internal/xform and internal/prog are exempt, test
+// files are exempt, everything else is checked.
+func TestCheckDirAllowlistAndSkips(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"internal/xform/a.go":   "package xform\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/prog/b.go":    "package prog\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/sim/c.go":     "package sim\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/sim/c_test.go": "package sim\nfunc g(b *Block) { b.Instrs = nil }\n",
+		"testdata/d.go":         "this is not even Go\n",
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Pos, filepath.Join("internal", "sim", "c.go")) {
+		t.Fatalf("want exactly the internal/sim/c.go finding, got %v", fs)
+	}
+}
+
+// TestRepoIsClean runs the checker over this repository: the only
+// mutation sites outside the transform and IR packages must carry the
+// allow directive.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := CheckDir(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("repository has undirected Instrs mutations:\n%v", fs)
+	}
+}

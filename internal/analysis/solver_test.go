@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/dep"
+	"specguard/internal/isa"
+)
+
+// TestMustDefinedDiamond pins the all-paths meet: a register defined on
+// only one arm of a diamond is not must-defined at the join, one
+// defined on both arms is.
+func TestMustDefinedDiamond(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    beq r1, 0, right
+left:
+    li r2, 2
+    li r3, 3
+    j join
+right:
+    li r3, 4
+join:
+    halt
+`)
+	f := p.EntryFunc()
+	in, _ := mustDefined(f, true)
+	join := in[f.Block("join")]
+	if join.Has(isa.R(2)) {
+		t.Error("r2 defined on one arm only: must not be must-defined at join")
+	}
+	if !join.Has(isa.R(3)) {
+		t.Error("r3 defined on both arms: must be must-defined at join")
+	}
+	if !join.Has(isa.R(1)) || !join.Has(isa.R(0)) || !join.Has(isa.P(0)) {
+		t.Error("dominating def and hardwired registers must be must-defined")
+	}
+}
+
+// TestMustDefinedGuardedAndCall pins the two transfer special cases:
+// guarded defs do not establish definedness, a call establishes it for
+// everything (the callee's writes are unknown).
+func TestMustDefinedGuardedAndCall(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    peq p1, r1, 1
+    (p1) li r2, 2
+    call helper
+after:
+    halt
+func helper:
+h0:
+    ret
+`)
+	f := p.EntryFunc()
+	in, out := mustDefined(f, true)
+	entry := f.Entry()
+	if !out[entry].Has(isa.R(2)) {
+		t.Error("after the call everything is considered defined")
+	}
+	// Before the call (walk the transfer to just past the guarded li):
+	x := mustDefTransfer(entry.Instrs, 3, in[entry])
+	if x.Has(isa.R(2)) {
+		t.Error("a guarded def must not establish must-definedness")
+	}
+}
+
+// TestObservedReadsBoundaries pins the refinements over dep.Liveness
+// that the speculation rule depends on: Halt and Ret observe nothing,
+// while dep.Liveness treats those blocks as all-live barriers.
+func TestObservedReadsBoundaries(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    add r2, r1, 1
+    halt
+`)
+	f := p.EntryFunc()
+	in, _ := observedReads(f, nil)
+	entry := f.Entry()
+	if got := in[entry]; !got.Empty() {
+		t.Errorf("a block defining everything it reads before halt observes nothing, got %v", got)
+	}
+	if live := dep.Liveness(f); live.Out[entry].Empty() {
+		t.Error("sanity: dep.Liveness treats the halt block as a barrier (all live out)")
+	}
+}
+
+// TestObservedReadsGuardedDefs pins no-kill-through-guards: a guarded
+// def leaves the old value observable.
+func TestObservedReadsGuardedDefs(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    peq p1, r1, 1
+    (p1) li r2, 7
+    sw r2, 0(r1)
+    halt
+`)
+	f := p.EntryFunc()
+	in, _ := observedReads(f, nil)
+	if !in[f.Entry()].Has(isa.R(2)) {
+		t.Error("guarded def of r2 must not kill the exposed read of the incoming r2")
+	}
+}
+
+// TestSummarizeInterprocedural pins the call-graph fixpoint: a callee's
+// exposed reads surface at the caller's call site, transitively.
+func TestSummarizeInterprocedural(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    call outer
+done:
+    halt
+func outer:
+o0:
+    li r5, 5
+    call inner
+o1:
+    ret
+func inner:
+i0:
+    add r6, r7, 1
+    ret
+`)
+	sums := summarize(p)
+	if !sums["inner"].Has(isa.R(7)) {
+		t.Errorf("inner reads r7 before writing: summary = %v", sums["inner"])
+	}
+	if !sums["outer"].Has(isa.R(7)) {
+		t.Errorf("outer must inherit inner's exposed read of r7: %v", sums["outer"])
+	}
+	if sums["outer"].Has(isa.R(6)) {
+		t.Errorf("r6 is written by inner before any read: %v", sums["outer"])
+	}
+	// The caller's observed set at the call site includes the summary.
+	f := p.EntryFunc()
+	in, _ := observedReads(f, sums)
+	if !in[f.Entry()].Has(isa.R(7)) {
+		t.Error("main's entry must observe r7 through the call chain")
+	}
+}
+
+// TestObservedSubsetOfLiveness pins the refinement direction: observed
+// reads never exceed dep.Liveness (the conservative superset used for
+// code motion) on any block.
+func TestObservedSubsetOfLiveness(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    li r8, 64
+    beq r1, 5, odd
+even:
+    lw r2, 0(r8)
+    add r3, r2, 1
+    j tail
+odd:
+    sub r3, r1, 1
+tail:
+    sw r3, 8(r8)
+    call helper
+post:
+    halt
+func helper:
+h0:
+    add r5, r3, 1
+    ret
+`)
+	sums := summarize(p)
+	for _, f := range p.Funcs {
+		obsIn, obsOut := observedReads(f, sums)
+		live := dep.Liveness(f)
+		for _, b := range f.Blocks {
+			if !obsIn[b].Minus(live.In[b]).Empty() {
+				t.Errorf("%s.%s: observed-in %v exceeds live-in %v", f.Name, b.Name, obsIn[b], live.In[b])
+			}
+			if !obsOut[b].Minus(live.Out[b]).Empty() {
+				t.Errorf("%s.%s: observed-out %v exceeds live-out %v", f.Name, b.Name, obsOut[b], live.Out[b])
+			}
+		}
+	}
+}
+
+// TestReachDefsResolution pins def-use chain resolution: unique defs
+// resolve across blocks, merges and guarded defs do not resolve to a
+// single site, and calls sever chains.
+func TestReachDefsResolution(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    li r2, 10
+    beq r1, 0, right
+left:
+    li r2, 20
+    j join
+right:
+    add r4, r2, 1
+join:
+    add r3, r2, 1
+    peq p1, r2, 5
+    (p1) li r5, 1
+    add r6, r5, 1
+    call helper
+post:
+    add r7, r2, 1
+    halt
+func helper:
+h0:
+    ret
+`)
+	f := p.EntryFunc()
+	rd := NewReachDefs(f)
+
+	join := f.Block("join")
+	// r2 at join[0]: two reaching defs (entry and left).
+	if got := len(rd.ReachingAt(join, 0, isa.R(2))); got != 2 {
+		t.Errorf("r2 at join: want 2 reaching defs, got %d", got)
+	}
+	if rd.UniqueDef(join, 0, isa.R(2)) != nil {
+		t.Error("merged r2 must not resolve to a unique def")
+	}
+	// r2 in right: only the entry def reaches.
+	right := f.Block("right")
+	if ud := rd.UniqueDef(right, 0, isa.R(2)); ud == nil || ud.Instr.Op != isa.Li || ud.Instr.Imm != 10 {
+		t.Errorf("r2 in right must uniquely resolve to the entry li: %+v", ud)
+	}
+	// r5 after a guarded def: the guarded li generates but the site is
+	// still ambiguous with "whatever reached before" — there is no
+	// other def site of r5, so the guarded site is the only one, but
+	// definedness is a mustDefined question, not a reaching one.
+	if got := len(rd.ReachingAt(join, 3, isa.R(5))); got != 1 {
+		t.Errorf("guarded def still generates a site: got %d", got)
+	}
+	// After the call, nothing reaches.
+	post := f.Block("post")
+	if got := rd.ReachingAt(post, 0, isa.R(2)); got != nil {
+		t.Errorf("a call severs def-use chains, got %v", got)
+	}
+}
+
+// TestCopyFactsAvailability pins the intersection semantics: a copy is
+// available only when made on every incoming path and not clobbered.
+func TestCopyFactsAvailability(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+    li r1, 1
+    beq r1, 0, right
+left:
+    mov r2, r1
+    j join
+right:
+    mov r2, r1
+join:
+    mov r2, r1
+clobber:
+    li r1, 5
+    mov r2, r1
+    halt
+`)
+	f := p.EntryFunc()
+	cf := NewCopyFacts(f)
+	join := f.Block("join")
+	if !cf.AvailableAt(join, 0, isa.R(2), isa.R(1)) {
+		t.Error("copy made on both arms must be available at the join")
+	}
+	clobber := f.Block("clobber")
+	if !cf.AvailableAt(clobber, 0, isa.R(2), isa.R(1)) {
+		t.Error("copy still available before the clobbering li")
+	}
+	if cf.AvailableAt(clobber, 1, isa.R(2), isa.R(1)) {
+		t.Error("redefining the source must kill the copy fact")
+	}
+}

@@ -75,7 +75,7 @@ func Parse(src string) (*prog.Program, error) {
 		if err != nil {
 			return nil, fail("%v", err)
 		}
-		b.Instrs = append(b.Instrs, in)
+		b.Instrs = append(b.Instrs, in) //sgvet:allow instrs-mutation
 	}
 
 	for _, fn := range p.Funcs {

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"specguard/internal/analysis"
+	"specguard/internal/core"
+)
+
+// TestBenchProgramsLintClean runs the static legality analyzer over
+// every (workload, scheme) program the paper tables simulate — the
+// hand-written sources for the predictor-only schemes and the fully
+// optimized binaries for the proposed scheme. None may carry an
+// error-severity diagnostic; warnings (e.g. deliberate reliance on
+// zero-initialized registers) are tolerated.
+func TestBenchProgramsLintClean(t *testing.T) {
+	r := NewRunner()
+	for _, w := range All() {
+		for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
+			t.Run(w.Name+"/"+s.String(), func(t *testing.T) {
+				p := w.Build()
+				opts := analysis.Options{Mode: analysis.ModeIR}
+				if s == SchemeProposed {
+					prof, err := r.ProfileOf(w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := core.Optimize(p, prof, r.Model, w.Opt); err != nil {
+						t.Fatal(err)
+					}
+					opts.Mode = analysis.ModeMachine
+					if w.Opt.SkipLower {
+						opts.Mode = analysis.ModeIR
+					}
+					opts.AllowSpeculativeLoads = w.Opt.SpeculateLoads
+				}
+				res := analysis.Analyze(p, opts)
+				if err := res.Err(); err != nil {
+					t.Fatalf("%s/%s is not lint-clean: %v", w.Name, s, err)
+				}
+			})
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specguard/internal/analysis"
 	"specguard/internal/machine"
 	"specguard/internal/profile"
 	"specguard/internal/prog"
@@ -186,6 +187,20 @@ func Optimize(p *prog.Program, prof *profile.Profile, m *machine.Model, opts Opt
 	}
 	if err := prog.Verify(p, prog.VerifyIR); err != nil {
 		return rep, fmt.Errorf("core: optimizer produced invalid program: %w", err)
+	}
+
+	// Mandatory legality audit: every optimized program must be clean
+	// under the static analyzer before it is costed or trusted. Verify
+	// above checks structure; this checks the transforms' semantic
+	// obligations (speculation renaming, guard definedness, split-phase
+	// partitioning). Warnings are tolerated — source programs may rely
+	// on zero-init — but any error means a transform is unsound.
+	audit := analysis.Options{Mode: analysis.ModeMachine, AllowSpeculativeLoads: opts.SpeculateLoads}
+	if opts.SkipLower {
+		audit.Mode = analysis.ModeIR
+	}
+	if err := analysis.Analyze(p, audit).Err(); err != nil {
+		return rep, fmt.Errorf("core: optimizer output failed the legality audit: %w", err)
 	}
 	return rep, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"specguard/internal/analysis"
 	"specguard/internal/asm"
 	"specguard/internal/machine"
 	"specguard/internal/profile"
@@ -116,6 +117,111 @@ func TestOracleCatchesBrokenTransform(t *testing.T) {
 		t.Fatal("broken hoist never found a hammock to corrupt")
 	}
 	t.Fatal("broken hoist was never caught within the smoke budget")
+}
+
+// TestStaticOracleCatchesUnsoundHoist mutation-tests the static lint
+// stage with a hoist that is deliberately unsound but dynamically
+// benign on this input: the branch always takes the hot path, so the
+// off-trace block that reads the clobbered register never executes and
+// no differential stage can see the bug. Only the analyzer flags it.
+func TestStaticOracleCatchesUnsoundHoist(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+	li r1, 5
+	li r8, 0
+	li r9, 7
+	blt r1, 10, hot
+other:
+	sw r9, 0(r8)
+	j end
+hot:
+	mul r9, r9, 3
+	sw r9, 8(r8)
+	j end
+end:
+	halt
+`)
+	o := NewOracle()
+	o.Variants = []Variant{{
+		Name: "bad-hoist",
+		Apply: func(q *prog.Program, _ *profile.Profile, _ *machine.Model) error {
+			f := q.EntryFunc()
+			entry, hot := f.Block("entry"), f.Block("hot")
+			in := hot.Instrs[0] // mul r9, r9, 3
+			in.Speculated = true
+			hot.Instrs = hot.Instrs[1:]
+			term := entry.Instrs[len(entry.Instrs)-1]
+			entry.Instrs = append(entry.Instrs[:len(entry.Instrs)-1], in, term)
+			f.MustRebuildCFG()
+			return nil
+		},
+	}}
+	err := o.Check(p)
+	f, ok := err.(*Failure)
+	if !ok {
+		t.Fatalf("want a static-lint failure, got %v", err)
+	}
+	if f.Check != "static-lint:bad-hoist" || !strings.Contains(f.Msg, analysis.RuleSpecLive) {
+		t.Fatalf("unsound hoist tripped the wrong oracle: %v", f)
+	}
+}
+
+// TestStaticOracleCatchesOverlappingSplit mutation-tests the other
+// static-only obligation: widening a phase predicate of a split branch
+// so two dispatch intervals overlap. The chain dispatches first-match,
+// so the mutated program computes exactly what the original does —
+// every dynamic oracle stays green — but the phase contract is broken
+// and the analyzer alone reports it.
+func TestStaticOracleCatchesOverlappingSplit(t *testing.T) {
+	p := asm.MustParse(`
+func main:
+entry:
+	li r31, -1
+	li r1, 0
+	li r8, 0
+loop:
+	add r31, r31, 1
+	plt p1, r31, 50
+	bp p1, v1
+d2:
+	pge p2, r31, 50
+	plt p3, r31, 100
+	pand p4, p2, p3
+	bp p4, v2
+res:
+	j back
+v1:
+	add r1, r1, 1
+	j back
+v2:
+	add r1, r1, 2
+	j back
+back:
+	blt r31, 99, loop
+fini:
+	sw r1, 0(r8)
+	halt
+`)
+	o := NewOracle()
+	o.Variants = []Variant{{
+		Name: "bad-split",
+		Apply: func(q *prog.Program, _ *profile.Profile, _ *machine.Model) error {
+			// [50, 100) -> [40, 100): overlaps phase one's [-inf, 50),
+			// but d2 is only ever reached with r31 >= 50, so dynamic
+			// behaviour is unchanged.
+			q.EntryFunc().Block("d2").Instrs[0].Imm = 40
+			return nil
+		},
+	}}
+	err := o.Check(p)
+	f, ok := err.(*Failure)
+	if !ok {
+		t.Fatalf("want a static-lint failure, got %v", err)
+	}
+	if f.Check != "static-lint:bad-split" || !strings.Contains(f.Msg, analysis.RuleSplitOverlap) {
+		t.Fatalf("overlapping split tripped the wrong oracle: %v", f)
+	}
 }
 
 // TestShrinkPreservesFailure drives the shrinker with a variant that

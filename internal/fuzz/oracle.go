@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"specguard/internal/analysis"
 	"specguard/internal/core"
 	"specguard/internal/interp"
 	"specguard/internal/machine"
@@ -213,11 +214,34 @@ func (t *teeSource) Next() (interp.Event, bool, error) {
 	return ev, ok, err
 }
 
+// lintOptions maps a variant name to the analysis options its output
+// contract implies: optimizer arms emit machine-legal code unless they
+// skip lowering, and the spec-loads arm vouches for load addresses the
+// same way it tells the optimizer to.
+func lintOptions(variant string) analysis.Options {
+	o := analysis.Options{Mode: analysis.ModeMachine}
+	switch variant {
+	case "unlowered", "merge-dce":
+		o.Mode = analysis.ModeIR
+	case "spec-loads":
+		o.AllowSpeculativeLoads = true
+	}
+	return o
+}
+
 // Check runs the full battery on p and returns the first *Failure, or
 // nil when every oracle agrees.
 func (o *Oracle) Check(p *prog.Program) error {
 	fail := func(check, format string, args ...any) error {
 		return &Failure{Check: check, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	// 0. Static legality lint of the base program. This is the one
+	// oracle stage that needs no execution at all: a generator bug that
+	// emits structurally unsound code is reported here instead of being
+	// laundered into a confusing downstream divergence.
+	if err := analysis.Analyze(p, analysis.Options{Mode: analysis.ModeIR}).Err(); err != nil {
+		return fail("static-lint:base", "%v", err)
 	}
 
 	// 1. Base architectural run: profile + event fingerprint.
@@ -255,6 +279,14 @@ func (o *Oracle) Check(p *prog.Program) error {
 		}
 		if o.Mutate != nil {
 			o.Mutate(v.Name, q)
+		}
+		// Static lint runs before the variant executes: soundness bugs
+		// that happen to be dynamically benign on this input (a
+		// clobbered register the off-trace path never reads at runtime,
+		// an overlapping phase split that still computes the right
+		// values) are visible to the analyzer alone.
+		if err := analysis.Analyze(q, lintOptions(v.Name)).Err(); err != nil {
+			return fail("static-lint:"+v.Name, "%v", err)
 		}
 		vm, vres, err := o.runVariant(q)
 		if err != nil {

@@ -62,7 +62,7 @@ func deleteRange(p *prog.Program, fn, blk string, start, size int) *prog.Program
 	if b == nil || start+size > len(b.Body()) {
 		return nil
 	}
-	b.Instrs = append(b.Instrs[:start:start], b.Instrs[start+size:]...)
+	b.Instrs = append(b.Instrs[:start:start], b.Instrs[start+size:]...) //sgvet:allow instrs-mutation
 	f.MustRebuildCFG()
 	if err := prog.Verify(q, prog.VerifyIR); err != nil {
 		return nil

@@ -28,7 +28,15 @@ const (
 //     one target;
 //   - the final block of each function ends in an unconditional
 //     transfer (no falling off the end of a function);
+//   - every register operand is of the class its slot requires (a
+//     predicate register cannot be a data operand, a data register
+//     cannot be a guard or a predicate operand, FP and integer files
+//     do not mix) and required operands are present;
 //   - under VerifyMachine, every instruction is machine-legal.
+//
+// Unreachable blocks are deliberately not an error here: transforms
+// create them transiently (and DCE removes them), so the static
+// analyzer reports them as a lint warning instead.
 //
 // It returns the first violation found.
 func Verify(p *Program, mode VerifyMode) error {
@@ -49,6 +57,10 @@ func Verify(p *Program, mode VerifyMode) error {
 				if mode == VerifyMachine && !in.MachineLegal() {
 					return fmt.Errorf("prog: %s.%s[%d]: %q is not machine-legal (guarded non-move)",
 						f.Name, b.Name, ii, in.String())
+				}
+				if err := checkOperandClasses(in); err != nil {
+					return fmt.Errorf("prog: %s.%s[%d]: %q: %v",
+						f.Name, b.Name, ii, in.String(), err)
 				}
 				switch {
 				case in.Op.IsCondBranch() || in.Op == isa.J:
@@ -81,6 +93,117 @@ func Verify(p *Program, mode VerifyMode) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// regClass is an operand-slot requirement.
+type regClass int
+
+const (
+	clsInt regClass = iota
+	clsFP
+	clsPred
+)
+
+func (c regClass) String() string {
+	switch c {
+	case clsFP:
+		return "floating-point"
+	case clsPred:
+		return "predicate"
+	}
+	return "integer"
+}
+
+func (c regClass) matches(r isa.Reg) bool {
+	switch c {
+	case clsFP:
+		return r.IsFP()
+	case clsPred:
+		return r.IsPred()
+	}
+	return r.IsInt()
+}
+
+// checkOperandClasses validates that every register operand of in is
+// present where required and drawn from the register file its slot
+// demands. The assembler cannot produce most violations (it parses
+// registers by file prefix into the right slots), but transforms build
+// isa.Instr values directly — a pass that, say, writes a predicate
+// register into an ALU destination would otherwise sail through into
+// the interpreter, where the encoding aliases another file's state.
+func checkOperandClasses(in *isa.Instr) error {
+	type slot struct {
+		name     string
+		reg      isa.Reg
+		cls      regClass
+		optional bool // NoReg allowed (immediate form)
+	}
+	var slots []slot
+	rd := func(c regClass) { slots = append(slots, slot{"rd", in.Rd, c, false}) }
+	rs := func(c regClass) { slots = append(slots, slot{"rs", in.Rs, c, false}) }
+	rt := func(c regClass, opt bool) { slots = append(slots, slot{"rt", in.Rt, c, opt}) }
+
+	switch in.Op {
+	case isa.Nop, isa.J, isa.Call, isa.Ret, isa.Halt:
+		// No register operands.
+	case isa.Li:
+		rd(clsInt)
+	case isa.Mov:
+		rd(clsInt)
+		rs(clsInt)
+	case isa.FMov:
+		rd(clsFP)
+		rs(clsFP)
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.And, isa.Or, isa.Xor, isa.Nor,
+		isa.Slt, isa.Sll, isa.Srl, isa.Sra:
+		rd(clsInt)
+		rs(clsInt)
+		rt(clsInt, true)
+	case isa.FAdd, isa.FSub, isa.FMul, isa.FDiv:
+		rd(clsFP)
+		rs(clsFP)
+		rt(clsFP, true)
+	case isa.Lw, isa.Sw:
+		rd(clsInt)
+		rs(clsInt)
+	case isa.Lf, isa.Sf:
+		rd(clsFP)
+		rs(clsInt)
+	case isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Beql, isa.Bnel, isa.Bltl, isa.Bgel:
+		rs(clsInt)
+		rt(clsInt, true)
+	case isa.Bp, isa.Bpl:
+		rs(clsPred)
+	case isa.Switch:
+		rs(clsInt)
+	case isa.PEq, isa.PNe, isa.PLt, isa.PGe:
+		rd(clsPred)
+		rs(clsInt)
+		rt(clsInt, true)
+	case isa.PAnd, isa.POr:
+		rd(clsPred)
+		rs(clsPred)
+		rt(clsPred, false)
+	case isa.PNot:
+		rd(clsPred)
+		rs(clsPred)
+	}
+
+	for _, s := range slots {
+		if s.reg == isa.NoReg {
+			if s.optional {
+				continue
+			}
+			return fmt.Errorf("missing required %s operand", s.name)
+		}
+		if !s.cls.matches(s.reg) {
+			return fmt.Errorf("%s operand %s must be a %s register", s.name, s.reg, s.cls)
+		}
+	}
+	if in.Pred != isa.NoReg && !in.Pred.IsPred() {
+		return fmt.Errorf("guard %s must be a predicate register", in.Pred)
 	}
 	return nil
 }
