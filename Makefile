@@ -24,10 +24,16 @@ build:
 test:
 	$(GO) test ./...
 
-# One iteration of the pipeline microbenchmark — catches benchmark rot
-# without paying for a full measurement run.
+# One iteration of each performance benchmark — catches benchmark rot
+# without paying for a full measurement run — plus a fixed-seed sweep of
+# the front-end agreement oracle (interp vs. predecode vs. trace
+# replay).
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkPipe -benchtime 1x ./internal/pipeline
+	$(GO) test -run '^$$' -bench 'BenchmarkPipe|BenchmarkPipeReplay' -benchtime 1x ./internal/pipeline
+	$(GO) test -run '^$$' -bench BenchmarkInterpStep -benchtime 1x ./internal/interp
+	$(GO) test -run '^$$' -bench BenchmarkTraceReplay -benchtime 1x ./internal/trace
+	$(GO) test -run '^$$' -bench BenchmarkProfileAnalyze -benchtime 1x ./internal/profile
+	$(GO) run ./cmd/sgfuzz -frontend -seeds 25
 
 # A bounded sweep of the differential fuzzer (internal/fuzz): every
 # seed must pass the interp/pipeline/xform agreement oracle. Seconds,

@@ -27,6 +27,7 @@ import (
 	"specguard/internal/machine"
 	"specguard/internal/pipeline"
 	"specguard/internal/predict"
+	"specguard/internal/trace"
 )
 
 func main() {
@@ -189,16 +190,31 @@ func printAblation(newRunner func() *bench.Runner) error {
 	return nil
 }
 
-// benchReport is the schema of BENCH_pipeline.json's per-measurement
-// records (see scripts/bench_json.sh).
+// benchReport is the schema of BENCH_pipeline.json's and
+// BENCH_frontend.json's per-measurement records (see
+// scripts/bench_json.sh).
 type benchReport struct {
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	PipeNsOp       int64   `json:"pipe_ns_op"`
-	PipeAllocsOp   int64   `json:"pipe_allocs_op"`
-	PipeBytesOp    int64   `json:"pipe_bytes_op"`
-	ReplayMinstrS  float64 `json:"replay_minstr_per_s"`
-	SuiteWallMs    int64   `json:"suite_wall_ms"`
-	AblationWallMs int64   `json:"ablation_row_wall_ms"`
+	GOMAXPROCS   int   `json:"gomaxprocs"`
+	PipeNsOp     int64 `json:"pipe_ns_op"`
+	PipeAllocsOp int64 `json:"pipe_allocs_op"`
+	PipeBytesOp  int64 `json:"pipe_bytes_op"`
+	// Architectural front-end rates over the benchmark kernel.
+	InterpLiveMinstrS float64 `json:"interp_live_minstr_per_s"`
+	InterpFlatMinstrS float64 `json:"interp_predecoded_minstr_per_s"`
+	// ReplayMinstrS is the packed-trace replay drain — the architectural
+	// event stream reconstructed with no register/memory computation.
+	ReplayMinstrS float64 `json:"replay_minstr_per_s"`
+	// PipeOnTraceMinstrS is a full timing simulation fed from the packed
+	// trace (the harness's steady-state configuration).
+	PipeOnTraceMinstrS float64 `json:"pipe_on_trace_minstr_per_s"`
+	TraceBytesPerKilo  float64 `json:"trace_bytes_per_kevent"`
+	// Sweep accounting: one Runner, full RunAll at two predictor table
+	// sizes. Architectural runs stay at one per (workload, program) —
+	// the second sweep re-simulates timing from cached traces.
+	SweepArchRuns    int64 `json:"sweep_arch_runs"`
+	SweepSimulations int   `json:"sweep_simulations"`
+	SuiteWallMs      int64 `json:"suite_wall_ms"`
+	AblationWallMs   int64 `json:"ablation_row_wall_ms"`
 }
 
 // benchKernel is the BenchmarkPipe program (kept in sync with
@@ -227,59 +243,121 @@ exit:
 	halt
 `
 
-// emitBenchJSON measures the pipeline microbenchmark, the trace-replay
-// rate of a warmed pipeline, and the full-suite wall clock, then
-// prints one benchReport as JSON.
+// rate converts a testing.Benchmark result over a fixed-size kernel
+// into millions of instructions per second.
+func rate(events int64, r testing.BenchmarkResult) float64 {
+	return float64(events) * float64(r.N) / r.T.Seconds() / 1e6
+}
+
+// emitBenchJSON measures the pipeline microbenchmark, the front-end
+// rates (live interpretation, predecoded execution, packed-trace
+// replay, pipeline-on-trace), the sweep's architectural-run reuse, and
+// the full-suite wall clock, then prints one benchReport as JSON.
 func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
+	code, err := interp.Predecode(asm.MustParse(benchKernel), nil)
+	if err != nil {
+		return err
+	}
+	m := code.NewMachine(interp.Options{})
+
+	// Headline simulation benchmark, in lockstep with
+	// internal/pipeline's BenchmarkPipe: predecode once, then per run
+	// only the machine reset, the event stream and the timing loop.
 	pipe := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			p := asm.MustParse(benchKernel)
-			m, err := interp.New(p, nil, interp.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
+			m.Reset()
 			sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sim.Run(pipeline.NewInterpSource(m)); err != nil {
+			if _, err := sim.Run(pipeline.NewMachineSource(m)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 
-	var events []interp.Event
-	m, err := interp.New(asm.MustParse(benchKernel), nil, interp.Options{})
-	if err != nil {
-		return err
-	}
+	// Kernel size, counted once.
+	m.Reset()
+	var events int64
+	var ev interp.Event
 	for {
-		ev, err := m.Step()
-		if err == interp.ErrHalted {
+		if err := m.Step(&ev); err == interp.ErrHalted {
 			break
-		}
-		if err != nil {
+		} else if err != nil {
 			return err
 		}
-		events = append(events, ev)
+		events++
 	}
-	src := pipeline.NewSliceSource(events)
-	sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
-	if err != nil {
-		return err
-	}
-	if _, err := sim.Run(src); err != nil {
-		return err
-	}
-	replay := testing.Benchmark(func(b *testing.B) {
+
+	live := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			src.Reset()
-			if _, err := sim.Run(src); err != nil {
+			ref, err := interp.New(asm.MustParse(benchKernel), nil, interp.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ref.Run(nil); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	replayRate := float64(len(events)) * float64(replay.N) / replay.T.Seconds() / 1e6
+	flat := testing.Benchmark(func(b *testing.B) {
+		var ev interp.Event
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			for {
+				if err := m.Step(&ev); err == interp.ErrHalted {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	tr, _, err := trace.Capture(code, interp.Options{}, nil, nil)
+	if err != nil {
+		return err
+	}
+	rd := tr.NewReader()
+	replay := testing.Benchmark(func(b *testing.B) {
+		var ev interp.Event
+		for i := 0; i < b.N; i++ {
+			rd.Reset()
+			for {
+				ok, err := rd.NextInto(&ev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	})
+	pipeOnTrace := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(tr.NewReader()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Predictor sweep on one Runner: a full table at two table sizes.
+	// Timing runs double; architectural runs must not.
+	sweep := newRunner()
+	if _, err := sweep.RunAll(); err != nil {
+		return err
+	}
+	sweep.PredictorEntries = 1024
+	if _, err := sweep.RunAll(); err != nil {
+		return err
+	}
+	sweepSims := 2 * 3 * len(bench.All())
 
 	start := time.Now()
 	if _, err := newRunner().RunAll(); err != nil {
@@ -294,13 +372,19 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 	ablationWall := time.Since(start)
 
 	rep := benchReport{
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		PipeNsOp:       pipe.NsPerOp(),
-		PipeAllocsOp:   pipe.AllocsPerOp(),
-		PipeBytesOp:    pipe.AllocedBytesPerOp(),
-		ReplayMinstrS:  replayRate,
-		SuiteWallMs:    suiteWall.Milliseconds(),
-		AblationWallMs: ablationWall.Milliseconds(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		PipeNsOp:           pipe.NsPerOp(),
+		PipeAllocsOp:       pipe.AllocsPerOp(),
+		PipeBytesOp:        pipe.AllocedBytesPerOp(),
+		InterpLiveMinstrS:  rate(events, live),
+		InterpFlatMinstrS:  rate(events, flat),
+		ReplayMinstrS:      rate(events, replay),
+		PipeOnTraceMinstrS: rate(events, pipeOnTrace),
+		TraceBytesPerKilo:  float64(tr.SizeBytes()) / float64(tr.Events()) * 1000,
+		SweepArchRuns:      sweep.ArchRuns(),
+		SweepSimulations:   sweepSims,
+		SuiteWallMs:        suiteWall.Milliseconds(),
+		AblationWallMs:     ablationWall.Milliseconds(),
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -33,6 +33,7 @@ func main() {
 	corpus := flag.String("corpus", "fuzz-corpus", "directory for failing reproducers")
 	doShrink := flag.Bool("shrink", true, "reduce failing programs before saving them")
 	replay := flag.String("replay", "", "re-check one saved corpus file and exit")
+	frontOnly := flag.Bool("frontend", false, "run only the front-end agreement oracle (interp vs. predecode vs. trace replay)")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayFile(o, *replay))
 	}
-	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, *verbose))
+	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, *frontOnly, *verbose))
 }
 
 // replayFile re-runs the oracle on one saved reproducer.
@@ -76,12 +77,16 @@ func replayFile(o *fuzz.Oracle, path string) int {
 
 // sweep runs the oracle over [start, start+seeds) and saves shrunk
 // reproducers for every failure.
-func sweep(o *fuzz.Oracle, start int64, seeds int, corpus string, doShrink, verbose bool) int {
+func sweep(o *fuzz.Oracle, start int64, seeds int, corpus string, doShrink, frontOnly, verbose bool) int {
+	check := o.Check
+	if frontOnly {
+		check = o.CheckFrontEnd
+	}
 	failures := 0
 	for i := 0; i < seeds; i++ {
 		seed := start + int64(i)
 		c := fuzz.Generate(seed)
-		err := o.Check(c.Prog)
+		err := check(c.Prog)
 		if err == nil {
 			if verbose {
 				fmt.Printf("seed %d: ok (%d instrs)\n", seed, c.Prog.NumInstrs())

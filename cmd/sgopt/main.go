@@ -98,7 +98,7 @@ func run(workload, file, profileFile string, keepGuards bool, alias float64, qui
 			return err
 		}
 	} else {
-		var initFn func(*interp.Interp) error
+		var initFn func(interp.Memory) error
 		if w.Init != nil {
 			initFn = w.Init
 		}

@@ -92,7 +92,7 @@ func run(workload, file, scheme string, entries int, cpuprofile, memprofile stri
 		w = bench.Workload{
 			Name:  file,
 			Build: p.Clone,
-			Init:  func(*interp.Interp) error { return nil },
+			Init:  func(interp.Memory) error { return nil },
 		}
 	}
 

@@ -14,6 +14,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"specguard/internal/core"
 	"specguard/internal/interp"
@@ -26,12 +27,35 @@ type Workload struct {
 	Name string
 	// Build returns a fresh program (callers mutate it).
 	Build func() *prog.Program
-	// Init installs the input data into memory before execution.
-	Init func(*interp.Interp) error
+	// Init installs the input data into memory before execution. It
+	// takes the interp.Memory interface so the same initializer drives
+	// both the reference interpreter and the predecoded machine.
+	Init func(interp.Memory) error
 	// Opt carries workload-specific optimizer options (zero value =
 	// paper defaults).
 	Opt core.Options
 }
+
+// protoCache builds a kernel's IR once per process and hands out deep
+// clones: harness callers mutate their copy (the optimizer rewrites
+// blocks in place), so Build must stay fresh-per-call, but the builder
+// chains themselves are pure and need not rerun for every simulation.
+type protoCache struct {
+	once  sync.Once
+	proto *prog.Program
+}
+
+func (c *protoCache) get(build func() *prog.Program) *prog.Program {
+	c.once.Do(func() { c.proto = build() })
+	return c.proto.Clone()
+}
+
+var (
+	compressProto protoCache
+	espressoProto protoCache
+	xlispProto    protoCache
+	grepProto     protoCache
+)
 
 // All returns the four kernels in the paper's Table 1 order.
 func All() []Workload {
@@ -76,7 +100,7 @@ const (
 // bit-twiddling compress does per symbol and gives the optimizer an
 // if-conversion target.
 func Compress() Workload {
-	return Workload{Name: "compress", Build: buildCompress, Init: initCompress}
+	return Workload{Name: "compress", Build: func() *prog.Program { return compressProto.get(buildCompress) }, Init: initCompress}
 }
 
 func buildCompress() *prog.Program {
@@ -173,7 +197,7 @@ func buildCompress() *prog.Program {
 	return p
 }
 
-func initCompress(m *interp.Interp) error {
+func initCompress(m interp.Memory) error {
 	g := lcg{s: 0xC0FFEE}
 	for i := int64(0); i < compressN; i++ {
 		// Small alphabet with repetition so dictionary hits develop.
@@ -198,7 +222,7 @@ const (
 // biased sparsity branch and a popcount-flavoured inner computation
 // round out the mix.
 func Espresso() Workload {
-	return Workload{Name: "espresso", Build: buildEspresso, Init: initEspresso}
+	return Workload{Name: "espresso", Build: func() *prog.Program { return espressoProto.get(buildEspresso) }, Init: initEspresso}
 }
 
 func buildEspresso() *prog.Program {
@@ -259,7 +283,7 @@ func buildEspresso() *prog.Program {
 	return p
 }
 
-func initEspresso(m *interp.Interp) error {
+func initEspresso(m interp.Memory) error {
 	g := lcg{s: 0xE59}
 	for i := int64(0); i < espressoN; i++ {
 		var mask int64
@@ -297,7 +321,7 @@ const (
 // call + return, also non-BTB). This is why the paper's xlisp has the
 // lowest IPC of the four under every scheme.
 func Xlisp() Workload {
-	return Workload{Name: "xlisp", Build: buildXlisp, Init: initXlisp}
+	return Workload{Name: "xlisp", Build: func() *prog.Program { return xlispProto.get(buildXlisp) }, Init: initXlisp}
 }
 
 func buildXlisp() *prog.Program {
@@ -380,7 +404,7 @@ func buildXlisp() *prog.Program {
 	return p
 }
 
-func initXlisp(m *interp.Interp) error {
+func initXlisp(m interp.Memory) error {
 	g := lcg{s: 0x715B}
 	// Skewed opcode distribution: arithmetic common, calls rarer.
 	dist := []int64{0, 0, 0, 1, 1, 2, 2, 3, 4, 4, 6, 6, 6, 5, 0, 1}
@@ -411,7 +435,7 @@ const (
 // (every 4th position is upper-case in the synthetic text) exercises
 // the cyclic-pattern path of the feedback analysis.
 func Grep() Workload {
-	return Workload{Name: "grep", Build: buildGrep, Init: initGrep}
+	return Workload{Name: "grep", Build: func() *prog.Program { return grepProto.get(buildGrep) }, Init: initGrep}
 }
 
 func buildGrep() *prog.Program {
@@ -464,7 +488,7 @@ func buildGrep() *prog.Program {
 	return p
 }
 
-func initGrep(m *interp.Interp) error {
+func initGrep(m interp.Memory) error {
 	g := lcg{s: 0x62E9}
 	for i := int64(0); i < grepN+8; i++ {
 		c := int64(g.next() % 43) // alphabet overlapping the needle bytes

@@ -1,0 +1,51 @@
+package fuzz
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+)
+
+// TestFrontEndAgreesOnFaults: a program whose run faults (or trips the
+// MaxSteps backstop) is not a front-end divergence — all three front
+// ends must report the identical terminal error.
+func TestFrontEndAgreesOnFaults(t *testing.T) {
+	o := NewOracle()
+	for name, src := range map[string]string{
+		"div-zero": `
+func main:
+entry:
+	li r1, 7
+	li r2, 0
+	div r3, r1, r2
+	halt
+`,
+		"runaway": `
+func main:
+loop:
+	add r1, r1, 1
+	j loop
+`,
+	} {
+		p, err := asm.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := o.CheckFrontEnd(p); err != nil {
+			t.Errorf("%s: front ends disagree: %v", name, err)
+		}
+	}
+}
+
+// TestFrontEndSweep pins the three-way agreement over a fixed seed
+// range — the same oracle `make bench-smoke` exercises via
+// sgfuzz -frontend.
+func TestFrontEndSweep(t *testing.T) {
+	o := NewOracle()
+	for seed := int64(1); seed <= 15; seed++ {
+		c := Generate(seed)
+		if err := o.CheckFrontEnd(c.Prog); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

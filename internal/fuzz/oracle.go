@@ -244,6 +244,14 @@ func (o *Oracle) Check(p *prog.Program) error {
 		return fail("static-lint:base", "%v", err)
 	}
 
+	// 0b. Front-end agreement: interp, predecoded machine and packed-
+	// trace replay must emit the same committed-event stream. Runs
+	// before the base comparison so a front-end bug is named as such
+	// instead of surfacing as a confusing downstream divergence.
+	if err := o.CheckFrontEnd(p); err != nil {
+		return err
+	}
+
 	// 1. Base architectural run: profile + event fingerprint.
 	base, prof, baseDigest, err := o.runBase(p)
 	if err != nil {

@@ -17,6 +17,14 @@ type Source interface {
 	Next() (interp.Event, bool, error)
 }
 
+// EventSource is the optional in-place fast path: a Source that also
+// implements it has NextInto called with a reused Event record, sparing
+// the 100+-byte by-value return per instruction. Run detects it with a
+// type assertion, so plain Sources keep working unchanged.
+type EventSource interface {
+	NextInto(ev *interp.Event) (bool, error)
+}
+
 // InterpSource adapts a live interpreter into a Source, running the
 // functional and timing models in lockstep so no trace is buffered.
 type InterpSource struct {
@@ -36,6 +44,35 @@ func (s *InterpSource) Next() (interp.Event, bool, error) {
 		return interp.Event{}, false, err
 	}
 	return ev, true, nil
+}
+
+// MachineSource adapts a predecoded machine into a Source, running the
+// functional and timing models in lockstep; with the EventSource fast
+// path the whole front end is allocation-free.
+type MachineSource struct {
+	m *interp.Machine
+}
+
+// NewMachineSource wraps m.
+func NewMachineSource(m *interp.Machine) *MachineSource { return &MachineSource{m: m} }
+
+// Next implements Source.
+func (s *MachineSource) Next() (interp.Event, bool, error) {
+	var ev interp.Event
+	ok, err := s.NextInto(&ev)
+	return ev, ok, err
+}
+
+// NextInto implements EventSource.
+func (s *MachineSource) NextInto(ev *interp.Event) (bool, error) {
+	err := s.m.Step(ev)
+	if err == interp.ErrHalted {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // SliceSource replays a pre-recorded event slice; used by tests.
@@ -163,6 +200,7 @@ type Pipeline struct {
 	mem        memTable
 	lastWriter [128]producerRef
 	regBuf     []isa.Reg
+	evBuf      interp.Event // fetch scratch, reused via the EventSource fast path
 }
 
 // New validates cfg and returns a simulator.
@@ -292,6 +330,8 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		fetchResumeAt  int64     // cycle fetch may resume (icache/mispredict)
 		lastCommit     int64
 	)
+	fast, _ := src.(EventSource)
+	evBuf := &p.evBuf
 
 	s := &p.stats
 	*s = Stats{}
@@ -477,7 +517,13 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		// branches, stalls and I-cache misses. ----
 		if !traceDone && fetchStalledOn < 0 && cycle >= fetchResumeAt {
 			for fetched := 0; fetched < m.IssueWidth && p.fbuf.len() < p.cfg.FetchBufferSize; fetched++ {
-				ev, ok, err := src.Next()
+				var ok bool
+				var err error
+				if fast != nil {
+					ok, err = fast.NextInto(evBuf)
+				} else {
+					*evBuf, ok, err = src.Next()
+				}
 				if err != nil {
 					return *s, err
 				}
@@ -485,15 +531,15 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 					traceDone = true
 					break
 				}
-				if p.icache != nil && !p.icache.Access(ev.Addr) {
+				if p.icache != nil && !p.icache.Access(evBuf.Addr) {
 					s.ICacheMisses++
 					fetchResumeAt = cycle + int64(m.CacheMissPenalty)
 					// The missing instruction still enters the buffer
 					// (its line is now resident); fetch pauses after it.
-					p.fbuf.push(p.decodeFetch(ev, &seq, &fetchStalledOn))
+					p.fbuf.push(p.decodeFetch(evBuf, &seq, &fetchStalledOn))
 					break
 				}
-				item := p.decodeFetch(ev, &seq, &fetchStalledOn)
+				item := p.decodeFetch(evBuf, &seq, &fetchStalledOn)
 				p.fbuf.push(item)
 				if fetchStalledOn >= 0 {
 					break // fetch waits for this control transfer
@@ -546,8 +592,8 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 // decodeFetch classifies a fetched event against the predictor and
 // assigns its sequence number. It sets *stalledOn when fetch must wait
 // for this instruction to resolve.
-func (p *Pipeline) decodeFetch(ev interp.Event, seq *int64, stalledOn *int64) fetchItem {
-	item := fetchItem{ev: ev, seq: *seq}
+func (p *Pipeline) decodeFetch(ev *interp.Event, seq *int64, stalledOn *int64) fetchItem {
+	item := fetchItem{ev: *ev, seq: *seq}
 	*seq++
 	op := ev.Instr.Op
 	cls := predict.Classify(op)

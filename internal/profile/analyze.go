@@ -104,6 +104,9 @@ func (bp *BranchProfile) Segments(opt SegmentOptions) []Segment {
 	}
 	opt = opt.withDefaults(n)
 	w := opt.Window
+	// One prefix-popcount pass makes every window/segment count below
+	// O(1); the history is frozen during analysis.
+	ix := bp.Outcomes.Index()
 
 	classify := func(freq float64) SegClass {
 		switch {
@@ -121,7 +124,7 @@ func (bp *BranchProfile) Segments(opt SegmentOptions) []Segment {
 		if end > n {
 			end = n
 		}
-		freq := float64(bp.Outcomes.CountRange(start, end)) / float64(end-start)
+		freq := float64(ix.CountRange(start, end)) / float64(end-start)
 		cls := classify(freq)
 		if len(segs) > 0 && segs[len(segs)-1].Class == cls {
 			segs[len(segs)-1].End = end
@@ -153,7 +156,7 @@ func (bp *BranchProfile) Segments(opt SegmentOptions) []Segment {
 	// Merge neighbours that ended up with the same class, then refresh
 	// frequencies and classes from the raw data.
 	for i := 0; i < len(segs); i++ {
-		taken := bp.Outcomes.CountRange(segs[i].Start, segs[i].End)
+		taken := ix.CountRange(segs[i].Start, segs[i].End)
 		segs[i].TakenFreq = float64(taken) / float64(segs[i].Len())
 		segs[i].Class = classify(segs[i].TakenFreq)
 	}
@@ -191,10 +194,20 @@ func (bp *BranchProfile) DetectPeriod(opt SegmentOptions) (Periodicity, bool) {
 	for p := 2; p <= opt.MaxPeriod && p*4 <= n; p++ {
 		takenPerSlot := make([]int, p)
 		countPerSlot := make([]int, p)
-		for i := 0; i < n; i++ {
-			countPerSlot[i%p]++
-			if bp.Outcomes.Get(i) {
-				takenPerSlot[i%p]++
+		// Word-cursor scan: one memory load per 64 outcomes and an
+		// incrementing slot counter instead of a div per bit.
+		var w uint64
+		for i, s := 0, 0; i < n; i++ {
+			if i&63 == 0 {
+				w = bp.Outcomes.words[i>>6]
+			}
+			countPerSlot[s]++
+			if w&1 != 0 {
+				takenPerSlot[s]++
+			}
+			w >>= 1
+			if s++; s == p {
+				s = 0
 			}
 		}
 		pattern := make([]bool, p)

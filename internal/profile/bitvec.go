@@ -7,8 +7,17 @@
 // the split-branch transformation.
 package profile
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // BitVector is an append-only sequence of branch outcomes
-// (true = taken), stored packed.
+// (true = taken), stored packed. Counting queries are word-parallel
+// (math/bits.OnesCount64), so scanning a million-outcome history costs
+// thousands of word operations, not a million Get calls. Invariant:
+// bits at positions >= n are zero (Append only sets live bits and Load
+// masks stray payload bits), which the masked popcounts rely on.
 type BitVector struct {
 	words []uint64
 	n     int
@@ -37,30 +46,107 @@ func (v *BitVector) Get(i int) bool {
 // Len returns the number of recorded outcomes.
 func (v *BitVector) Len() int { return v.n }
 
-// CountRange returns how many outcomes in [from, to) are taken.
+// CountRange returns how many outcomes in [from, to) are taken. Bounds
+// are validated once up front: an inverted or out-of-range pair is a
+// caller bug and panics with the offending values (the old
+// implementation silently returned 0 for from > to and panicked
+// bit-by-bit through Get otherwise).
 func (v *BitVector) CountRange(from, to int) int {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("profile: CountRange[%d,%d) out of range for %d outcomes", from, to, v.n))
+	}
+	if from == to {
+		return 0
+	}
+	fw, lw := from>>6, (to-1)>>6
+	head := ^uint64(0) << uint(from&63)
+	tail := ^uint64(0) >> uint(63-(to-1)&63)
+	if fw == lw {
+		return bits.OnesCount64(v.words[fw] & head & tail)
+	}
+	c := bits.OnesCount64(v.words[fw] & head)
+	for i := fw + 1; i < lw; i++ {
+		c += bits.OnesCount64(v.words[i])
+	}
+	return c + bits.OnesCount64(v.words[lw]&tail)
+}
+
+// Count returns the total number of taken outcomes.
+func (v *BitVector) Count() int {
 	c := 0
-	for i := from; i < to; i++ {
-		if v.Get(i) {
-			c++
-		}
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
 
-// Count returns the total number of taken outcomes.
-func (v *BitVector) Count() int { return v.CountRange(0, v.n) }
-
 // Toggles returns the number of adjacent outcome flips
-// (TTTFFFTTFF has 3: T→F, F→T, T→F).
+// (TTTFFFTTFF has 3: T→F, F→T, T→F). Each word is XORed against
+// itself shifted by one — bit j of w^(w>>1) says outcomes j and j+1
+// differ — and the seam between words is patched separately.
 func (v *BitVector) Toggles() int {
+	if v.n < 2 {
+		return 0
+	}
 	t := 0
-	for i := 1; i < v.n; i++ {
-		if v.Get(i) != v.Get(i-1) {
-			t++
+	last := (v.n - 1) >> 6 // word holding the final outcome
+	for i := 0; i <= last; i++ {
+		w := v.words[i]
+		x := (w ^ (w >> 1)) &^ (1 << 63) // 63 in-word adjacent pairs
+		if i == last {
+			// Keep only pairs whose second outcome is still < n:
+			// second outcomes in this word are 64i+1 .. n-1.
+			if k := v.n - 1 - i<<6; k < 63 {
+				x &= 1<<uint(k) - 1
+			}
+		}
+		t += bits.OnesCount64(x)
+		if i < last && (w>>63)&1 != v.words[i+1]&1 {
+			t++ // seam pair (64i+63, 64i+64)
 		}
 	}
 	return t
+}
+
+// CountIndex is a prefix-popcount index over a BitVector, making
+// CountRange O(1) instead of O(words in range) — segmentation issues
+// hundreds of overlapping range queries per branch site. The index is
+// a snapshot: Appends after Index are not visible through it.
+type CountIndex struct {
+	v      *BitVector
+	prefix []int32 // prefix[i] = taken outcomes in words[:i]
+}
+
+// Index builds a CountIndex in one pass over the words.
+func (v *BitVector) Index() *CountIndex {
+	prefix := make([]int32, len(v.words)+1)
+	var c int32
+	for i, w := range v.words {
+		prefix[i] = c
+		c += int32(bits.OnesCount64(w))
+	}
+	prefix[len(v.words)] = c
+	return &CountIndex{v: v, prefix: prefix}
+}
+
+// CountRange returns how many outcomes in [from, to) are taken, with
+// the same bounds contract as BitVector.CountRange.
+func (ix *CountIndex) CountRange(from, to int) int {
+	v := ix.v
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("profile: CountRange[%d,%d) out of range for %d outcomes", from, to, v.n))
+	}
+	if from == to {
+		return 0
+	}
+	fw, lw := from>>6, (to-1)>>6
+	head := ^uint64(0) << uint(from&63)
+	tail := ^uint64(0) >> uint(63-(to-1)&63)
+	if fw == lw {
+		return bits.OnesCount64(v.words[fw] & head & tail)
+	}
+	c := bits.OnesCount64(v.words[fw]&head) + bits.OnesCount64(v.words[lw]&tail)
+	return c + int(ix.prefix[lw]-ix.prefix[fw+1])
 }
 
 // String renders the vector as a T/F string, for tests and debugging.

@@ -116,9 +116,11 @@ func (p *Profile) BranchRatio() float64 {
 
 // Collect runs the program to completion under the interpreter,
 // recording every conditional branch outcome. init, if non-nil, runs
-// before execution to set up the memory image and registers (the
-// workload's input). Collect is the paper's instrumented profiling run.
-func Collect(pr *prog.Program, opts interp.Options, init func(*interp.Interp) error) (*Profile, interp.Result, error) {
+// before execution to set up the memory image (the workload's input);
+// it takes the interp.Memory interface so the same initializer serves
+// the reference Interp here and the predecoded Machine in trace
+// capture. Collect is the paper's instrumented profiling run.
+func Collect(pr *prog.Program, opts interp.Options, init func(interp.Memory) error) (*Profile, interp.Result, error) {
 	m, err := interp.New(pr, nil, opts)
 	if err != nil {
 		return nil, interp.Result{}, err

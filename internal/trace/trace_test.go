@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+)
+
+// traceSrc mixes every replayed construct: conditional branches,
+// guarded ops (including guarded memory), loads/stores, a switch, and
+// a call/ret pair.
+const traceSrc = `
+func main:
+entry:
+	li r1, 0
+	li r8, 2048
+loop:
+	and r2, r1, 3
+	switch r2, t0, t1, t2, t3
+t0:
+	lw r3, 0(r8)
+	add r3, r3, 1
+	sw r3, 0(r8)
+	j step
+t1:
+	call helper
+aftercall:
+	j step
+t2:
+	and r5, r1, 1
+	peq p1, r5, 0
+	(p1) add r4, r4, 5
+	(!p1) sw r4, 8(r8)
+	j step
+t3:
+	xor r6, r6, 9
+step:
+	add r1, r1, 1
+	blt r1, 120, loop
+exit:
+	sw r4, 16(r8)
+	halt
+
+func helper:
+body:
+	add r7, r7, 3
+	slt r5, r7, 60
+	peq p2, r5, 1
+	(p2) lw r6, 0(r8)
+	ret
+`
+
+func captureSrc(t testing.TB, src string) (*Trace, *interp.Code) {
+	t.Helper()
+	code, err := interp.Predecode(asm.MustParse(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := Capture(code, interp.Options{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, code
+}
+
+// TestReplayMatchesLive replays the trace in lockstep with the
+// reference interpreter and demands event-for-event identity.
+func TestReplayMatchesLive(t *testing.T) {
+	tr, code := captureSrc(t, traceSrc)
+	ref, err := interp.New(code.Program(), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := tr.NewReader()
+	var ev interp.Event
+	for i := int64(0); ; i++ {
+		evR, errR := ref.Step()
+		ok, err := rd.NextInto(&ev)
+		if err != nil {
+			t.Fatalf("event %d: replay error: %v", i, err)
+		}
+		if errR == interp.ErrHalted {
+			if ok {
+				t.Fatalf("event %d: replay continued past halt", i)
+			}
+			if i != tr.Events() {
+				t.Fatalf("replayed %d events, trace has %d", i, tr.Events())
+			}
+			return
+		}
+		if errR != nil {
+			t.Fatal(errR)
+		}
+		if !ok {
+			t.Fatalf("event %d: replay ended early", i)
+		}
+		if evR != ev {
+			t.Fatalf("event %d differs:\nlive:   %+v\nreplay: %+v", i, evR, ev)
+		}
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	tr, _ := captureSrc(t, traceSrc)
+	rd := tr.NewReader()
+	drain := func() int64 {
+		var n int64
+		var ev interp.Event
+		for {
+			ok, err := rd.NextInto(&ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return n
+			}
+			n++
+		}
+	}
+	first := drain()
+	rd.Reset()
+	second := drain()
+	if first != second || first != tr.Events() {
+		t.Fatalf("drained %d then %d events, trace has %d", first, second, tr.Events())
+	}
+}
+
+// TestCorruptTraceDetected flips one branch-outcome bit and demands the
+// replayed stream diverge from a fresh architectural run — the property
+// the fuzzer's frontend-replay check relies on.
+func TestCorruptTraceDetected(t *testing.T) {
+	tr, code := captureSrc(t, traceSrc)
+	if tr.branch.n == 0 {
+		t.Fatal("trace recorded no branches")
+	}
+	tr.branch.words[0] ^= 1 // first branch outcome
+
+	ref, err := interp.New(code.Program(), nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := tr.NewReader()
+	var ev interp.Event
+	for i := 0; ; i++ {
+		evR, errR := ref.Step()
+		ok, err := rd.NextInto(&ev)
+		if err != nil {
+			return // divergence surfaced as a stream-exhaustion error
+		}
+		if errR == interp.ErrHalted || !ok {
+			if (errR == interp.ErrHalted) != !ok {
+				return // one side ended early: divergence detected
+			}
+			t.Fatal("corrupted trace replayed to completion in lockstep with the live run")
+		}
+		if errR != nil {
+			t.Fatal(errR)
+		}
+		if evR != ev {
+			return // divergence detected
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	tr, _ := captureSrc(t, traceSrc)
+	events := tr.Events()
+	if events == 0 {
+		t.Fatal("empty trace")
+	}
+	// The packed trace must be dramatically smaller than an Event
+	// slice; ~1.5 bits/instr here vs >100 bytes/instr unpacked.
+	if got, limit := tr.SizeBytes(), int(events); got > limit {
+		t.Fatalf("trace is %d bytes for %d events; want <= 1 byte/event", got, events)
+	}
+}
+
+// BenchmarkTraceReplay measures the pure replay rate: how fast the
+// packed trace reconstructs the committed-event stream.
+func BenchmarkTraceReplay(b *testing.B) {
+	code, err := interp.Predecode(asm.MustParse(`
+func main:
+entry:
+	li r1, 0
+	li r5, 9000
+loop:
+	lw r3, 0(r5)
+	add r3, r3, 1
+	sw r3, 0(r5)
+	and r2, r1, 7
+	beq r2, 0, sp
+pl:
+	add r4, r4, 1
+	j next
+sp:
+	add r6, r6, 1
+next:
+	add r1, r1, 1
+	blt r1, 50000, loop
+exit:
+	halt
+`), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := Capture(code, interp.Options{}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := tr.NewReader()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ev interp.Event
+	for i := 0; i < b.N; i++ {
+		rd.Reset()
+		for {
+			ok, err := rd.NextInto(&ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(tr.Events())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

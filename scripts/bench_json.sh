@@ -1,7 +1,10 @@
 #!/bin/sh
-# Regenerate the "after" measurements recorded in BENCH_pipeline.json.
-# Runs the pipeline microbenchmark, the pure trace-replay benchmark and
-# the full-suite wall clock, printing one JSON object to stdout.
+# Regenerate the "after" measurements recorded in BENCH_frontend.json
+# (and historically BENCH_pipeline.json). Runs the pipeline
+# microbenchmark, the front-end rate benchmarks (live interpretation,
+# predecoded execution, packed-trace replay, pipeline-on-trace), the
+# predictor-sweep reuse accounting and the full-suite wall clock,
+# printing one JSON object to stdout.
 set -eu
 cd "$(dirname "$0")/.."
 exec go run ./cmd/sgbench -benchjson
