@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet sgvet lint build test bench-smoke bench-json fuzz-smoke
+.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet sgvet build test lint bench-smoke fuzz-smoke
+check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the concurrency-heavy packages: the serve
+# layer (coalescing, drain, backpressure) and the bench trace caches
+# it is built on.
+test-race:
+	$(GO) test -race ./internal/serve/... ./internal/bench/...
+
 # One iteration of each performance benchmark — catches benchmark rot
 # without paying for a full measurement run — plus a fixed-seed sweep of
 # the front-end agreement oracle (interp vs. predecode vs. trace
@@ -40,6 +46,12 @@ bench-smoke:
 # not minutes; `sgfuzz -seeds 500` (or more) is the deep version.
 fuzz-smoke:
 	$(GO) run ./cmd/sgfuzz -seeds 50
+
+# End-to-end smoke of the experiment daemon: coalescing, graceful
+# drain under SIGTERM, and post-restart store-hit replay, all asserted
+# via /metrics.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate the "after" block of BENCH_pipeline.json.
 bench-json:

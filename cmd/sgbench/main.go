@@ -22,6 +22,7 @@ import (
 
 	"specguard/internal/asm"
 	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
 	"specguard/internal/core"
 	"specguard/internal/interp"
 	"specguard/internal/machine"
@@ -40,7 +41,13 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "emit pipeline/suite performance numbers as JSON and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("sgbench"))
+		return
+	}
 
 	tableSet := false
 	flag.Visit(func(f *flag.Flag) {

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 
 	"specguard/internal/asm"
+	"specguard/internal/buildinfo"
 	"specguard/internal/fuzz"
 )
 
@@ -35,8 +36,13 @@ func main() {
 	replay := flag.String("replay", "", "re-check one saved corpus file and exit")
 	frontOnly := flag.Bool("frontend", false, "run only the front-end agreement oracle (interp vs. predecode vs. trace replay)")
 	verbose := flag.Bool("v", false, "print a line per seed")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("sgfuzz"))
+		return
+	}
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "sgfuzz: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()

@@ -21,6 +21,7 @@ import (
 
 	"specguard/internal/analysis"
 	"specguard/internal/asm"
+	"specguard/internal/buildinfo"
 )
 
 func main() {
@@ -34,8 +35,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (one object per file)")
 	werror := fs.Bool("werror", false, "treat warnings as errors for the exit status")
 	specLoads := fs.Bool("spec-loads", false, "vouch for speculative load addresses (SpecOptions.Loads)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Version("sglint"))
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "sglint: at least one assembly file is required")

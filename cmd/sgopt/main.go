@@ -17,6 +17,7 @@ import (
 	"specguard/internal/analysis"
 	"specguard/internal/asm"
 	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
 	"specguard/internal/core"
 	"specguard/internal/interp"
 	"specguard/internal/machine"
@@ -33,8 +34,13 @@ func main() {
 	quiet := flag.Bool("q", false, "print only the decision log")
 	dot := flag.Bool("dot", false, "emit the optimized entry function's CFG as Graphviz dot instead of assembly")
 	lint := flag.Bool("lint", false, "run the static legality analyzer over the input and the optimized output (diagnostics on stderr; errors exit 1)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("sgopt"))
+		return
+	}
 	if (*workload == "") == (*file == "") {
 		fmt.Fprintln(os.Stderr, "sgopt: exactly one of -w or -f is required")
 		os.Exit(2)

@@ -16,6 +16,7 @@ import (
 
 	"specguard/internal/asm"
 	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
 	"specguard/internal/interp"
 	"specguard/internal/profile"
 )
@@ -25,8 +26,13 @@ func main() {
 	file := flag.String("f", "", "assembly file to profile")
 	minCount := flag.Int64("min", 1, "hide branch sites executed fewer times")
 	save := flag.String("save", "", "also write the profile to this file (for sgopt -profile)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("sgprof"))
+		return
+	}
 	if (*workload == "") == (*file == "") {
 		fmt.Fprintln(os.Stderr, "sgprof: exactly one of -w or -f is required")
 		os.Exit(2)

@@ -1,0 +1,118 @@
+// Command sgserved serves the paper's experiments as a long-lived
+// HTTP daemon: experiment requests (workload × scheme × optimizer
+// options × predictor config) execute on a bounded worker pool,
+// identical in-flight requests coalesce into one simulation, and
+// completed results persist in a content-addressed on-disk store so
+// repeated sweeps are answered from disk.
+//
+// Usage:
+//
+//	sgserved -addr :8080 -store /var/lib/sgserved
+//	sgserved -addr 127.0.0.1:0 -workers 4 -queue 128 -timeout 30s
+//
+// Endpoints: POST/GET /v1/run (JSON, or NDJSON progress with
+// ?stream=1), GET /v1/sweep (NDJSON), /healthz, /metrics (Prometheus
+// text), /version, /debug/vars.
+//
+// On SIGTERM/SIGINT the daemon flips /healthz to 503, stops accepting
+// work, finishes everything in flight (bounded by -drain-timeout,
+// after which simulations are cancelled cooperatively), and exits 0 on
+// a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
+	"specguard/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	storeDir := flag.String("store", "sgserved-store", "result store directory (empty string disables persistence)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job bound before 429 backpressure")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request simulation timeout (also the cap for timeout_ms)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("sgserved"))
+		return
+	}
+	logger := log.New(os.Stderr, "sgserved: ", log.LstdFlags)
+	if err := run(*addr, *storeDir, *workers, *queue, *timeout, *drainTimeout, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(addr, storeDir string, workers, queue int, timeout, drainTimeout time.Duration, logger *log.Logger) error {
+	cfg := serve.Config{
+		Runner:         bench.NewRunner(),
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+		Logf:           logger.Printf,
+	}
+	if storeDir != "" {
+		store, err := serve.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		logger.Printf("result store at %s", store.Dir())
+	}
+	svc, err := serve.NewService(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	logger.Printf("%s listening on %s", buildinfo.Version("sgserved"), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s received, draining (timeout %s)", sig, drainTimeout)
+	case err := <-errc:
+		return err
+	}
+
+	// Graceful drain: refuse new work (healthz flips to 503 for the
+	// load balancer), finish in-flight HTTP exchanges — whose handlers
+	// wait on their simulations — then quiesce the pool.
+	svc.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.WaitIdle(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

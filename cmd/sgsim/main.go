@@ -18,6 +18,7 @@ import (
 
 	"specguard/internal/asm"
 	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
 	"specguard/internal/core"
 	"specguard/internal/interp"
 	"specguard/internal/machine"
@@ -33,8 +34,13 @@ func main() {
 	entries := flag.Int("entries", 512, "2-bit predictor table size")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("sgsim"))
+		return
+	}
 	if (*workload == "") == (*file == "") {
 		fmt.Fprintln(os.Stderr, "sgsim: exactly one of -w or -f is required")
 		os.Exit(2)

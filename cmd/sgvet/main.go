@@ -16,11 +16,18 @@ import (
 	"os"
 
 	"specguard/internal/analysis/govet"
+	"specguard/internal/buildinfo"
 )
 
 func main() {
 	root := flag.String("root", ".", "source tree to check")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("sgvet"))
+		return
+	}
 
 	findings, err := govet.CheckDir(*root)
 	if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -218,11 +219,14 @@ func wrapInit(w Workload) func(interp.Memory) error {
 
 // prefetchProfiles builds the feedback profile of every workload, in
 // parallel, so subsequent fan-out stages hit the cache.
-func (r *Runner) prefetchProfiles(ws []Workload) error {
+func (r *Runner) prefetchProfiles(ctx context.Context, ws []Workload) error {
 	errs := make([]error, len(ws))
-	r.parallelFor(len(ws), func(i int) {
+	r.parallelFor(ctx, len(ws), func(i int) {
 		_, errs[i] = r.ProfileOf(ws[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -233,7 +237,22 @@ func (r *Runner) prefetchProfiles(ws []Workload) error {
 
 // Run simulates one workload under one scheme.
 func (r *Runner) Run(w Workload, s Scheme) (Result, error) {
+	return r.RunContext(context.Background(), w, s)
+}
+
+// RunContext is Run with cancellation: ctx is checked between the
+// architectural and timing phases and polled cooperatively inside the
+// pipeline's cycle loop, so a timed-out or abandoned request stops
+// within microseconds of simulated work. Cache entries are never
+// poisoned by cancellation — a cancelled call leaves the profile and
+// trace caches exactly as a never-started one would, except that an
+// entry whose capture already began runs to completion (architectural
+// runs are not abandoned halfway, so concurrent waiters still get it).
+func (r *Runner) RunContext(ctx context.Context, w Workload, s Scheme) (Result, error) {
 	res := Result{Workload: w.Name, Scheme: s}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	prof, err := r.ProfileOf(w)
 	if err != nil {
 		return res, err
@@ -256,7 +275,7 @@ func (r *Runner) Run(w Workload, s Scheme) (Result, error) {
 		res.Report = rep
 	}
 
-	stats, err := r.simulate(p, w, pred)
+	stats, err := r.simulate(ctx, p, w, pred)
 	if err != nil {
 		return res, err
 	}
@@ -267,13 +286,17 @@ func (r *Runner) Run(w Workload, s Scheme) (Result, error) {
 // simulate runs one timing simulation of p by replaying its cached
 // packed trace — bit-identical to feeding the pipeline from a live
 // interpreter, but with the architectural work amortized across every
-// simulation of the same program.
-func (r *Runner) simulate(p *prog.Program, w Workload, pred predict.Predictor) (pipeline.Stats, error) {
+// simulation of the same program. ctx cancels the timing loop
+// cooperatively (pipeline.Config.Context).
+func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, pred predict.Predictor) (pipeline.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return pipeline.Stats{}, err
+	}
 	tr, err := r.traceFor(p, w)
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	pipe, err := pipeline.New(pipeline.Config{Model: r.Model, Predictor: pred})
+	pipe, err := pipeline.New(pipeline.Config{Model: r.Model, Predictor: pred, Context: ctx})
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
@@ -288,7 +311,16 @@ func (r *Runner) simulate(p *prog.Program, w Workload, pred predict.Predictor) (
 // options — the ablation entry point (the title's "individual/combined
 // effects": disable one arm at a time).
 func (r *Runner) RunProposedOpts(w Workload, opts core.Options) (Result, error) {
+	return r.RunProposedOptsContext(context.Background(), w, opts)
+}
+
+// RunProposedOptsContext is RunProposedOpts with cancellation (see
+// RunContext for the guarantees).
+func (r *Runner) RunProposedOptsContext(ctx context.Context, w Workload, opts core.Options) (Result, error) {
 	res := Result{Workload: w.Name, Scheme: SchemeProposed}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	prof, err := r.ProfileOf(w)
 	if err != nil {
 		return res, err
@@ -300,7 +332,73 @@ func (r *Runner) RunProposedOpts(w Workload, opts core.Options) (Result, error) 
 		return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
 	}
 	res.Report = rep
-	stats, err := r.simulate(p, w, predict.NewTwoBit(r.entries()))
+	stats, err := r.simulate(ctx, p, w, predict.NewTwoBit(r.entries()))
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// Spec fully describes one simulation: the (workload, scheme) pair
+// plus per-call timing and optimizer configuration. It exists for
+// callers that serve heterogeneous requests from one shared Runner
+// (internal/serve): unlike the PredictorEntries field, a Spec does not
+// mutate Runner state, so concurrent Specs with different predictor
+// sizes still share the profile and trace caches.
+type Spec struct {
+	Workload Workload
+	Scheme   Scheme
+	// Entries overrides the 2-bit predictor table size for this call
+	// only; 0 uses the Runner's configuration.
+	Entries int
+	// Opt, when non-nil, replaces the workload's optimizer options.
+	// Only meaningful for SchemeProposed.
+	Opt *core.Options
+}
+
+// RunSpec simulates one Spec with cancellation (see RunContext for the
+// guarantees). Timing-only variations (Entries) hit the trace cache
+// and perform no new architectural runs.
+func (r *Runner) RunSpec(ctx context.Context, spec Spec) (Result, error) {
+	w := spec.Workload
+	res := Result{Workload: w.Name, Scheme: spec.Scheme}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	entries := spec.Entries
+	if entries <= 0 {
+		entries = r.entries()
+	}
+	prof, err := r.ProfileOf(w)
+	if err != nil {
+		return res, err
+	}
+	res.Profile = prof
+
+	p := w.Build()
+	var pred predict.Predictor
+	switch spec.Scheme {
+	case SchemeTwoBit:
+		pred = predict.NewTwoBit(entries)
+	case SchemePerfect:
+		pred = predict.NewPerfect()
+	case SchemeProposed:
+		pred = predict.NewTwoBit(entries)
+		opts := w.Opt
+		if spec.Opt != nil {
+			opts = *spec.Opt
+		}
+		rep, err := core.Optimize(p, prof, r.Model, opts)
+		if err != nil {
+			return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
+		}
+		res.Report = rep
+	default:
+		return res, fmt.Errorf("bench: unknown scheme %d", spec.Scheme)
+	}
+
+	stats, err := r.simulate(ctx, p, w, pred)
 	if err != nil {
 		return res, err
 	}
@@ -315,12 +413,20 @@ func (r *Runner) RunProposedOpts(w Workload, opts core.Options) (Result, error) 
 // Stats are identical to RunAllSerial because no mutable state is
 // shared between simulations.
 func (r *Runner) RunAll() ([]Result, error) {
+	return r.RunAllContext(context.Background())
+}
+
+// RunAllContext is RunAll with cancellation: no new simulation starts
+// after ctx is done, in-flight ones abort cooperatively, and the first
+// error wins (a cancelled sweep reports ctx.Err(), not a partial
+// table).
+func (r *Runner) RunAllContext(ctx context.Context) ([]Result, error) {
 	type job struct {
 		w Workload
 		s Scheme
 	}
 	ws := All()
-	if err := r.prefetchProfiles(ws); err != nil {
+	if err := r.prefetchProfiles(ctx, ws); err != nil {
 		return nil, err
 	}
 	var jobs []job
@@ -331,9 +437,12 @@ func (r *Runner) RunAll() ([]Result, error) {
 	}
 	out := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
-	r.parallelFor(len(jobs), func(i int) {
-		out[i], errs[i] = r.Run(jobs[i].w, jobs[i].s)
+	r.parallelFor(ctx, len(jobs), func(i int) {
+		out[i], errs[i] = r.RunContext(ctx, jobs[i].w, jobs[i].s)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -361,15 +470,24 @@ func (r *Runner) RunAllSerial() ([]Result, error) {
 // RunProposedOptsAll runs RunProposedOpts for every workload in
 // parallel, in registry order — one ablation row.
 func (r *Runner) RunProposedOptsAll(opts core.Options) ([]Result, error) {
+	return r.RunProposedOptsAllContext(context.Background(), opts)
+}
+
+// RunProposedOptsAllContext is RunProposedOptsAll with cancellation
+// (see RunAllContext).
+func (r *Runner) RunProposedOptsAllContext(ctx context.Context, opts core.Options) ([]Result, error) {
 	ws := All()
-	if err := r.prefetchProfiles(ws); err != nil {
+	if err := r.prefetchProfiles(ctx, ws); err != nil {
 		return nil, err
 	}
 	out := make([]Result, len(ws))
 	errs := make([]error, len(ws))
-	r.parallelFor(len(ws), func(i int) {
-		out[i], errs[i] = r.RunProposedOpts(ws[i], opts)
+	r.parallelFor(ctx, len(ws), func(i int) {
+		out[i], errs[i] = r.RunProposedOptsContext(ctx, ws[i], opts)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -380,8 +498,10 @@ func (r *Runner) RunProposedOptsAll(opts core.Options) ([]Result, error) {
 
 // parallelFor runs f(0..n-1) across min(workers, n) goroutines with an
 // atomic work counter. With one worker it degenerates to a plain loop
-// on the calling goroutine.
-func (r *Runner) parallelFor(n int, f func(int)) {
+// on the calling goroutine. Once ctx is done no further iteration
+// starts; iterations already running finish on their own (they observe
+// the same ctx through the Runner's context-aware entry points).
+func (r *Runner) parallelFor(ctx context.Context, n int, f func(int)) {
 	workers := r.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -391,6 +511,9 @@ func (r *Runner) parallelFor(n int, f func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -403,7 +526,7 @@ func (r *Runner) parallelFor(n int, f func(int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || ctx.Err() != nil {
 					return
 				}
 				f(i)

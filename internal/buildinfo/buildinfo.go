@@ -1,0 +1,56 @@
+// Package buildinfo derives a single version string for every binary
+// in this module from the build metadata the Go toolchain embeds
+// (runtime/debug.ReadBuildInfo): module version when built from a
+// tagged module, VCS revision and dirty bit when built from a checkout.
+// All cmd/* binaries expose it behind a -version flag so a deployment
+// (or a bug report) can name the exact build without ad-hoc banners.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// read is swapped by tests to exercise the formatting paths without
+// depending on how the test binary itself was built.
+var read = debug.ReadBuildInfo
+
+// Version returns "<binary> <version> (<go version>)". The version part
+// is, in order of preference: the module version (tagged builds), the
+// VCS revision truncated to 12 hex digits with a "-dirty" suffix for
+// modified checkouts, or "devel" when the toolchain embedded nothing.
+func Version(binary string) string {
+	info, ok := read()
+	if !ok {
+		return fmt.Sprintf("%s devel (build info unavailable)", binary)
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = vcsVersion(info)
+	}
+	return fmt.Sprintf("%s %s (%s)", binary, ver, info.GoVersion)
+}
+
+// vcsVersion reconstructs a version from the embedded VCS settings.
+func vcsVersion(info *debug.BuildInfo) string {
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -1,0 +1,65 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withInfo(t *testing.T, info *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return info, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestVersionTaggedModule(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "v1.4.2"},
+	}, true)
+	got := Version("sgserved")
+	want := "sgserved v1.4.2 (go1.22.0)"
+	if got != want {
+		t.Errorf("Version = %q, want %q", got, want)
+	}
+}
+
+func TestVersionVCSRevision(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := Version("sgbench")
+	want := "sgbench 0123456789ab-dirty (go1.22.0)"
+	if got != want {
+		t.Errorf("Version = %q, want %q", got, want)
+	}
+}
+
+func TestVersionNoMetadata(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{GoVersion: "go1.22.0"}, true)
+	if got := Version("sgvet"); got != "sgvet devel (go1.22.0)" {
+		t.Errorf("Version = %q", got)
+	}
+}
+
+func TestVersionNoBuildInfo(t *testing.T) {
+	withInfo(t, nil, false)
+	if got := Version("sgsim"); !strings.Contains(got, "devel") {
+		t.Errorf("Version without build info = %q, want a devel marker", got)
+	}
+}
+
+// TestVersionRealBuild sanity-checks the untampered path: whatever the
+// test binary embeds, the result must name the binary and a Go version.
+func TestVersionRealBuild(t *testing.T) {
+	got := Version("sgx")
+	if !strings.HasPrefix(got, "sgx ") || !strings.Contains(got, "go") {
+		t.Errorf("Version = %q, want \"sgx <ver> (go...)\"", got)
+	}
+}

@@ -1,0 +1,55 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/interp"
+	"specguard/internal/machine"
+)
+
+const cancelLoop = `
+func main:
+entry:
+	li r1, 0
+loop:
+	add r1, r1, 1
+	blt r1, 2000, loop
+exit:
+	halt
+`
+
+// TestRunCancelled: an already-cancelled Context aborts Run at its
+// first poll (cycle 0) with the context's error in the chain.
+func TestRunCancelled(t *testing.T) {
+	p := asm.MustParse(cancelLoop)
+	m, err := interp.New(p, nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pipe, err := New(Config{Model: machine.R10000(), Predictor: twoBit(), Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Run(NewInterpSource(m)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled Context = %v, want context.Canceled in the chain", err)
+	}
+}
+
+// TestRunStatsUnchangedByContext pins the bit-identical guarantee: a
+// run under a live (never-cancelled) Context produces exactly the
+// Stats of a context-free run.
+func TestRunStatsUnchangedByContext(t *testing.T) {
+	without := simulate(t, cancelLoop, twoBit(), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	with := simulate(t, cancelLoop, twoBit(), func(cfg *Config) { cfg.Context = ctx })
+	if !reflect.DeepEqual(with, without) {
+		t.Errorf("Context changed Stats:\nwith:    %+v\nwithout: %+v", with, without)
+	}
+}

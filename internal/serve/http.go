@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"specguard/internal/bench"
+	"specguard/internal/buildinfo"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/run     experiment request (JSON body) → JSON result;
+//	                 with ?stream=1 or Accept: application/x-ndjson,
+//	                 progress events + result as NDJSON
+//	GET  /v1/run     same via query params (workload, scheme, entries)
+//	GET  /v1/sweep   the full table sweep (all workloads × schemes),
+//	                 streamed as NDJSON in completion order
+//	GET  /healthz    200 ok / 503 draining
+//	GET  /metrics    Prometheus text exposition
+//	GET  /version    build metadata
+//	GET  /debug/vars expvar (Go runtime internals)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/version", s.handleVersion)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeErr maps the service's typed errors onto status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	var bad *ErrBadRequest
+	var over *ErrOverloaded
+	switch {
+	case errors.As(err, &bad):
+		httpError(w, http.StatusBadRequest, "%v", bad.Err)
+	case errors.As(err, &over):
+		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "%v", over)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "simulation timed out: %v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// parseRunRequest decodes a request from a JSON body (POST) or query
+// parameters (GET).
+func parseRunRequest(r *http.Request) (RunRequest, error) {
+	var req RunRequest
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, &ErrBadRequest{fmt.Errorf("decoding request body: %w", err)}
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Workload = q.Get("workload")
+		req.Scheme = q.Get("scheme")
+		for _, f := range []struct {
+			name string
+			dst  *int64
+		}{
+			{"timeout_ms", &req.TimeoutMS},
+			{"delay_ms", &req.DelayMS},
+		} {
+			if v := q.Get(f.name); v != "" {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return req, &ErrBadRequest{fmt.Errorf("bad %s: %w", f.name, err)}
+				}
+				*f.dst = n
+			}
+		}
+		if v := q.Get("entries"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, &ErrBadRequest{fmt.Errorf("bad entries: %w", err)}
+			}
+			req.PredictorEntries = n
+		}
+	default:
+		return req, &ErrBadRequest{fmt.Errorf("method %s not allowed", r.Method)}
+	}
+	return req, nil
+}
+
+// wantsStream reports whether the client asked for NDJSON progress.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRunRequest(r)
+	if err != nil {
+		s.metrics.Requests.Add(1)
+		s.metrics.BadRequests.Add(1)
+		writeErr(w, err)
+		return
+	}
+	if wantsStream(r) {
+		s.streamRun(w, r, req)
+		return
+	}
+	res, err := s.Do(r.Context(), req, nil)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// streamEvent is one NDJSON progress line.
+type streamEvent struct {
+	Event  string       `json:"event"`
+	Error  string       `json:"error,omitempty"`
+	Result *RunResponse `json:"result,omitempty"`
+}
+
+// ndjson writes one event line and flushes it to the client so
+// progress is observable while the simulation runs.
+func ndjson(w http.ResponseWriter, ev streamEvent) {
+	json.NewEncoder(w).Encode(ev)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Service) streamRun(w http.ResponseWriter, r *http.Request, req RunRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	res, err := s.Do(r.Context(), req, func(stage string) {
+		ndjson(w, streamEvent{Event: stage})
+	})
+	if err != nil {
+		ndjson(w, streamEvent{Event: "error", Error: err.Error()})
+		return
+	}
+	ndjson(w, streamEvent{Event: StageResult, Result: res})
+}
+
+// handleSweep streams the paper's full table — every workload under
+// every scheme — as NDJSON, one result line per simulation in
+// completion order. All cells go through the same store → coalesce →
+// pool path, so a repeated sweep is served from disk and a concurrent
+// one coalesces cell-by-cell. Cells shed by backpressure are retried
+// until the client gives up (the sweep holds no queue slots while
+// backing off).
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	entries := 0
+	if v := r.URL.Query().Get("entries"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad entries: %v", err)
+			return
+		}
+		entries = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	type cell struct {
+		res *RunResponse
+		err error
+	}
+	var reqs []RunRequest
+	for _, wl := range bench.All() {
+		for _, scheme := range []bench.Scheme{bench.SchemeTwoBit, bench.SchemeProposed, bench.SchemePerfect} {
+			reqs = append(reqs, RunRequest{Workload: wl.Name, Scheme: scheme.String(), PredictorEntries: entries})
+		}
+	}
+	out := make(chan cell, len(reqs))
+	for _, req := range reqs {
+		go func(req RunRequest) {
+			for {
+				res, err := s.Do(r.Context(), req, nil)
+				var over *ErrOverloaded
+				if errors.As(err, &over) {
+					select {
+					case <-time.After(200 * time.Millisecond):
+						continue
+					case <-r.Context().Done():
+						err = r.Context().Err()
+					}
+				}
+				out <- cell{res, err}
+				return
+			}
+		}(req)
+	}
+	for range reqs {
+		c := <-out
+		if c.err != nil {
+			ndjson(w, streamEvent{Event: "error", Error: c.err.Error()})
+			continue
+		}
+		ndjson(w, streamEvent{Event: StageResult, Result: c.res})
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, s.runner.ArchRuns())
+}
+
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"version": buildinfo.Version("sgserved")})
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, mutate)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, url string, req RunRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPRunAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, data := postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/run = %d: %s", resp.StatusCode, data)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if rr.Source != "sim" || rr.Stats.Cycles == 0 || rr.IPC == 0 {
+		t.Errorf("implausible response: source=%s cycles=%d ipc=%g", rr.Source, rr.Stats.Cycles, rr.IPC)
+	}
+
+	// Same request again: served from the store.
+	resp, data = postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST = %d", resp.StatusCode)
+	}
+	json.Unmarshal(data, &rr)
+	if rr.Source != "store" {
+		t.Errorf("repeat source = %q, want store", rr.Source)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mdata)
+	for _, line := range []string{
+		"sgserved_requests_total 2",
+		"sgserved_store_hits_total 1",
+		"sgserved_sim_runs_total 1",
+		"sgserved_arch_runs_total 1",
+		"sgserved_sim_seconds_bucket{le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("/metrics missing %q\n%s", line, metrics)
+		}
+	}
+}
+
+func TestHTTPGetRun(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/run?workload=grep&scheme=perfect&entries=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/run = %d: %s", resp.StatusCode, data)
+	}
+	var rr RunResponse
+	json.Unmarshal(data, &rr)
+	if rr.Scheme != "PerfectBP" || rr.PredictorEntries != 8 {
+		t.Errorf("normalized response: %+v", rr)
+	}
+}
+
+func TestHTTPBadRequest(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, data := postRun(t, ts.URL, RunRequest{Workload: "no-such", Scheme: "2bit"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad workload = %d: %s", resp.StatusCode, data)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+		t.Errorf("error envelope missing: %s", data)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(`{"workload": "grep", "nope": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestHTTPStream: NDJSON mode emits a stage event then the result.
+func TestHTTPStream(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body, _ := json.Marshal(RunRequest{Workload: "grep", Scheme: "2bit"})
+	resp, err := http.Post(ts.URL+"/v1/run?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []streamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (stage + result): %+v", len(events), events)
+	}
+	if events[0].Event != StageQueued {
+		t.Errorf("first event = %q, want %q", events[0].Event, StageQueued)
+	}
+	if events[1].Event != StageResult || events[1].Result == nil || events[1].Result.Stats.Cycles == 0 {
+		t.Errorf("terminal event malformed: %+v", events[1])
+	}
+}
+
+// TestHTTPSweep: the sweep endpoint streams all 12 cells, and a repeat
+// sweep is answered entirely from the store with no new captures.
+func TestHTTPSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	s, ts := newTestServer(t, nil)
+	sweep := func() []streamEvent {
+		resp, err := http.Get(ts.URL + "/v1/sweep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var events []streamEvent
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev streamEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad sweep line: %v", err)
+			}
+			events = append(events, ev)
+		}
+		return events
+	}
+
+	first := sweep()
+	if len(first) != 12 {
+		t.Fatalf("sweep returned %d lines, want 12", len(first))
+	}
+	for _, ev := range first {
+		if ev.Event != StageResult {
+			t.Fatalf("sweep cell failed: %+v", ev)
+		}
+	}
+	captures := s.runner.ArchRuns()
+	if captures != 8 {
+		t.Errorf("sweep ArchRuns = %d, want 8 (2 per workload)", captures)
+	}
+
+	second := sweep()
+	for _, ev := range second {
+		if ev.Result == nil || ev.Result.Source != "store" {
+			t.Errorf("repeat sweep cell not from store: %+v", ev)
+		}
+	}
+	if got := s.runner.ArchRuns(); got != captures {
+		t.Errorf("repeat sweep added captures: %d → %d", captures, got)
+	}
+}
+
+func TestHTTPHealthzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	s.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	r2, data := postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/v1/run while draining = %d, want 503: %s", r2.StatusCode, data)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestHTTPBackpressureHeaders: a saturated pool answers 429 with a
+// Retry-After hint.
+func TestHTTPBackpressureHeaders(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+	})
+	var wg sync.WaitGroup
+	for i, req := range []RunRequest{
+		{Workload: "grep", Scheme: "2bit", DelayMS: 2000},
+		{Workload: "grep", Scheme: "perfect", DelayMS: 2000},
+	} {
+		wg.Add(1)
+		go func(i int, req RunRequest) {
+			defer wg.Done()
+			postRun(t, ts.URL, req)
+		}(i, req)
+	}
+	defer wg.Wait()
+	waitUntil(t, func() bool {
+		return s.metrics.InFlight.Load() == 1 && s.metrics.QueueDepth.Load() == 1
+	})
+
+	resp, data := postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "proposed"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

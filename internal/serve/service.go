@@ -1,0 +1,526 @@
+// Package serve turns the experiment harness (internal/bench) into a
+// long-lived concurrent service: sgserved accepts experiment requests
+// over HTTP, executes them on a bounded worker pool with per-request
+// timeouts and queue-depth backpressure, coalesces identical in-flight
+// requests into one simulation, and persists completed results in a
+// content-addressed on-disk store so repeated sweeps are served from
+// disk without re-simulation.
+//
+// The coalescing identity is the same one the Runner's trace cache
+// uses — (workload, program fingerprint, scheme, predictor config) —
+// extended with the optimizer options that select the Proposed program
+// variant. Three layers of dedup therefore cooperate, outermost first:
+//
+//	store     cross-restart   identical request already completed
+//	coalesce  in-flight       identical request currently running
+//	traces    per-process     distinct timing configs of one program
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"specguard/internal/bench"
+	"specguard/internal/core"
+	"specguard/internal/pipeline"
+)
+
+// RunRequest is one experiment request: workload × scheme × optimizer
+// options × predictor configuration.
+type RunRequest struct {
+	// Workload names a registered kernel: compress, espresso, xlisp,
+	// grep.
+	Workload string `json:"workload"`
+	// Scheme selects the paper's configuration: "2-bitBP" (aliases
+	// 2bit, twobit), "Proposed", or "PerfectBP" (alias perfect).
+	Scheme string `json:"scheme"`
+	// PredictorEntries overrides the 2-bit predictor table size;
+	// 0 means the machine model's size. Requests naming the default
+	// explicitly and implicitly share one identity.
+	PredictorEntries int `json:"predictor_entries,omitempty"`
+	// Opt overrides the optimizer options (Proposed scheme only); nil
+	// uses the workload's defaults.
+	Opt *OptRequest `json:"opt,omitempty"`
+	// TimeoutMS caps this request's simulation wall time; 0 (or
+	// anything above it) means the service default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DelayMS holds the job in its worker for this long before
+	// simulating — a load/soak-testing knob (it widens the coalescing
+	// window deterministically); capped by Config.MaxDelay.
+	DelayMS int64 `json:"delay_ms,omitempty"`
+}
+
+// OptRequest is the JSON projection of core.Options: the ablation
+// switches and thresholds a service caller may vary. Zero fields keep
+// the optimizer's defaults.
+type OptRequest struct {
+	DisableLikely      bool    `json:"disable_likely,omitempty"`
+	DisableGuarding    bool    `json:"disable_guarding,omitempty"`
+	DisableSplitting   bool    `json:"disable_splitting,omitempty"`
+	DisableSpeculation bool    `json:"disable_speculation,omitempty"`
+	SpeculateLoads     bool    `json:"speculate_loads,omitempty"`
+	LikelyThreshold    float64 `json:"likely_threshold,omitempty"`
+	UnbiasedMax        float64 `json:"unbiased_max,omitempty"`
+	MinCount           int64   `json:"min_count,omitempty"`
+}
+
+func (o *OptRequest) options() core.Options {
+	return core.Options{
+		DisableLikely:      o.DisableLikely,
+		DisableGuarding:    o.DisableGuarding,
+		DisableSplitting:   o.DisableSplitting,
+		DisableSpeculation: o.DisableSpeculation,
+		SpeculateLoads:     o.SpeculateLoads,
+		LikelyThreshold:    o.LikelyThreshold,
+		UnbiasedMax:        o.UnbiasedMax,
+		MinCount:           o.MinCount,
+	}
+}
+
+// canonical renders the option fields for the request key. Requests
+// that spell semantically identical options differently (e.g. naming a
+// default explicitly) may get distinct keys — that only costs a cache
+// opportunity, never correctness.
+func (o *OptRequest) canonical() string {
+	if o == nil {
+		return "default"
+	}
+	return fmt.Sprintf("dl%t,dg%t,ds%t,dsp%t,sl%t,lt%g,um%g,mc%d",
+		o.DisableLikely, o.DisableGuarding, o.DisableSplitting,
+		o.DisableSpeculation, o.SpeculateLoads,
+		o.LikelyThreshold, o.UnbiasedMax, o.MinCount)
+}
+
+// RunResponse is one completed experiment.
+type RunResponse struct {
+	// Key is the content address (SHA-256 of Canonical) under which
+	// the result is stored.
+	Key string `json:"key"`
+	// Canonical is the request's canonical identity string.
+	Canonical        string         `json:"canonical"`
+	Workload         string         `json:"workload"`
+	Scheme           string         `json:"scheme"`
+	PredictorEntries int            `json:"predictor_entries"`
+	// Source is how this response was produced: "sim" (a fresh
+	// simulation), "coalesced" (attached to an identical in-flight
+	// run), or "store" (read from the on-disk store).
+	Source       string         `json:"source"`
+	IPC          float64        `json:"ipc"`
+	PredAccuracy float64        `json:"pred_accuracy"`
+	SimMS        float64        `json:"sim_ms"`
+	Stats        pipeline.Stats `json:"stats"`
+	// Report is the optimizer's decision log (Proposed scheme only).
+	Report *core.Report `json:"report,omitempty"`
+}
+
+// ParseScheme maps the accepted spellings onto bench.Scheme.
+func ParseScheme(s string) (bench.Scheme, error) {
+	switch strings.ReplaceAll(strings.ToLower(s), "-", "") {
+	case "2bit", "2bitbp", "twobit", "twobitbp":
+		return bench.SchemeTwoBit, nil
+	case "proposed":
+		return bench.SchemeProposed, nil
+	case "perfect", "perfectbp":
+		return bench.SchemePerfect, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want 2-bitBP, Proposed or PerfectBP)", s)
+}
+
+// Config assembles a Service.
+type Config struct {
+	// Runner executes the simulations; required. The Service shares
+	// its profile and trace caches across all requests.
+	Runner *bench.Runner
+	// Store persists completed results; nil disables persistence.
+	Store *Store
+	// Workers bounds concurrent simulations; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds accepted-but-not-running jobs; once full, new
+	// work is shed with 429 + Retry-After. Default 64.
+	QueueDepth int
+	// DefaultTimeout caps each simulation's wall time (also the upper
+	// bound for per-request timeouts). Default 60s.
+	DefaultTimeout time.Duration
+	// MaxDelay caps RunRequest.DelayMS. Default 10s.
+	MaxDelay time.Duration
+	// Logf receives operational messages (store write failures,
+	// worker errors); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Service is the experiment engine behind the HTTP daemon: it owns the
+// worker pool, the in-flight request table (singleflight) and the
+// metrics. HTTP handling lives in Handler; tests drive Do directly.
+type Service struct {
+	cfg     Config
+	runner  *bench.Runner
+	store   *Store
+	metrics Metrics
+
+	// baseCtx parents every job: detached from any single request (a
+	// disconnecting client must not kill a run other clients wait on),
+	// cancelled only when a drain deadline forces abandonment.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+
+	jobs chan *flight
+	wg   sync.WaitGroup
+}
+
+// flight is one in-progress simulation and the rendezvous for every
+// request coalesced onto it.
+type flight struct {
+	key     string
+	spec    bench.Spec
+	req     RunRequest // normalized copy (canonical entries etc.)
+	delay   time.Duration
+	timeout time.Duration
+
+	done chan struct{} // closed when resp/err are set
+	resp *RunResponse
+	err  error
+}
+
+// Typed errors the HTTP layer maps onto status codes.
+
+// ErrBadRequest wraps validation failures (HTTP 400).
+type ErrBadRequest struct{ Err error }
+
+func (e *ErrBadRequest) Error() string { return e.Err.Error() }
+func (e *ErrBadRequest) Unwrap() error { return e.Err }
+
+// ErrOverloaded reports queue-depth backpressure (HTTP 429).
+type ErrOverloaded struct {
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("queue full, retry in %s", e.RetryAfter)
+}
+
+// ErrDraining reports that shutdown has begun (HTTP 503).
+var ErrDraining = errors.New("service is draining")
+
+// NewService validates cfg, starts the worker pool, and returns the
+// service.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("serve: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		runner:  cfg.Runner,
+		store:   cfg.Store,
+		baseCtx: ctx,
+		cancel:  cancel,
+		flights: map[string]*flight{},
+		jobs:    make(chan *flight, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics exposes the live counters (the HTTP layer renders them).
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Runner returns the shared runner (metrics export reads ArchRuns).
+func (s *Service) Runner() *bench.Runner { return s.runner }
+
+// normalize validates req and derives the simulation spec and the
+// canonical identity key.
+func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
+	w, err := bench.ByName(req.Workload)
+	if err != nil {
+		return bench.Spec{}, "", &ErrBadRequest{err}
+	}
+	scheme, err := ParseScheme(req.Scheme)
+	if err != nil {
+		return bench.Spec{}, "", &ErrBadRequest{err}
+	}
+	if req.PredictorEntries < 0 {
+		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("predictor_entries must be ≥ 0, got %d", req.PredictorEntries)}
+	}
+	if req.Opt != nil && scheme != bench.SchemeProposed {
+		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("optimizer options apply only to the Proposed scheme, not %s", scheme)}
+	}
+	entries := req.PredictorEntries
+	if entries == 0 {
+		entries = s.runner.Model.PredictorEntries
+	}
+	req.PredictorEntries = entries
+	req.Scheme = scheme.String()
+
+	spec := bench.Spec{Workload: w, Scheme: scheme, Entries: entries}
+	if req.Opt != nil {
+		opts := req.Opt.options()
+		spec.Opt = &opts
+	}
+	// The identity the trace cache uses — (workload, fingerprint,
+	// scheme, predictor) — plus the optimizer options that select the
+	// Proposed variant. The fingerprint is the *base* program's: the
+	// optimizer is deterministic, so base fingerprint + options
+	// determine the rewritten program without running it.
+	key := fmt.Sprintf("v%d|w=%s|fp=%016x|s=%s|e=%d|o=%s",
+		storeVersion, w.Name, w.Build().Fingerprint(), scheme, entries, req.Opt.canonical())
+	return spec, key, nil
+}
+
+// Stage names reported to Do's notify callback, in the order a request
+// can traverse them.
+const (
+	StageStore     = "store_hit"  // answered from the on-disk store
+	StageCoalesced = "coalesced"  // attached to an identical in-flight run
+	StageQueued    = "queued"     // accepted as leader, waiting for a worker
+	StageResult    = "result"     // terminal: response follows
+)
+
+// Do executes one request through the full store → coalesce → simulate
+// path. notify, when non-nil, is called with the stage the request
+// took before its result arrives (the NDJSON streaming handler relays
+// these to the client). ctx bounds only this caller's wait: the
+// simulation itself runs under the service's context so that other
+// waiters and the store still get the result if this caller leaves.
+func (s *Service) Do(ctx context.Context, req RunRequest, notify func(stage string)) (*RunResponse, error) {
+	s.metrics.Requests.Add(1)
+	spec, key, err := s.normalize(&req)
+	if err != nil {
+		s.metrics.BadRequests.Add(1)
+		return nil, err
+	}
+
+	if s.store != nil {
+		res, ok, quarantined, serr := s.store.Get(key)
+		if quarantined {
+			s.metrics.StoreQuarantined.Add(1)
+			s.cfg.Logf("store: quarantined corrupt entry for %s", key)
+		}
+		if serr != nil {
+			s.cfg.Logf("store: read error for %s: %v", key, serr)
+		}
+		if ok {
+			s.metrics.StoreHits.Add(1)
+			if notify != nil {
+				notify(StageStore)
+			}
+			res.Source = "store"
+			return res, nil
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.metrics.CoalescedHits.Add(1)
+		if notify != nil {
+			notify(StageCoalesced)
+		}
+		return s.wait(ctx, f, "coalesced")
+	}
+	if len(s.jobs) == cap(s.jobs) {
+		queued := len(s.jobs)
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		retry := time.Duration(1+queued/s.cfg.Workers) * time.Second
+		return nil, &ErrOverloaded{RetryAfter: retry}
+	}
+	f := &flight{
+		key:     key,
+		spec:    spec,
+		req:     req,
+		delay:   s.delayFor(req.DelayMS),
+		timeout: s.timeoutFor(req.TimeoutMS),
+		done:    make(chan struct{}),
+	}
+	s.flights[key] = f
+	s.metrics.QueueDepth.Add(1)
+	s.jobs <- f // non-blocking: len < cap was checked under mu, all sends hold mu
+	s.mu.Unlock()
+	if notify != nil {
+		notify(StageQueued)
+	}
+	return s.wait(ctx, f, "sim")
+}
+
+func (s *Service) delayFor(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d < 0 {
+		return 0
+	}
+	if d > s.cfg.MaxDelay {
+		return s.cfg.MaxDelay
+	}
+	return d
+}
+
+func (s *Service) timeoutFor(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > s.cfg.DefaultTimeout {
+		return s.cfg.DefaultTimeout
+	}
+	return d
+}
+
+// wait blocks until f completes or the caller's ctx ends. Each waiter
+// gets its own shallow copy of the response so the shared flight result
+// stays immutable while Source reflects how *this* caller got it.
+func (s *Service) wait(ctx context.Context, f *flight, source string) (*RunResponse, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		res := *f.resp
+		res.Source = source
+		return &res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// worker executes flights until the jobs channel is closed by drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for f := range s.jobs {
+		s.metrics.QueueDepth.Add(-1)
+		s.metrics.InFlight.Add(1)
+		s.runFlight(f)
+		s.metrics.InFlight.Add(-1)
+	}
+}
+
+// runFlight performs one simulation under the service context, then
+// publishes the result to every waiter and the store.
+func (s *Service) runFlight(f *flight) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, f.key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	if f.delay > 0 {
+		t := time.NewTimer(f.delay)
+		select {
+		case <-t.C:
+		case <-s.baseCtx.Done():
+			t.Stop()
+			f.err = s.baseCtx.Err()
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, f.timeout)
+	defer cancel()
+	start := time.Now()
+	result, err := s.runner.RunSpec(ctx, f.spec)
+	elapsed := time.Since(start)
+	s.metrics.SimRuns.Add(1)
+	s.metrics.SimSeconds.Observe(elapsed)
+	if err != nil {
+		s.metrics.SimErrors.Add(1)
+		f.err = err
+		return
+	}
+
+	f.resp = &RunResponse{
+		Key:              addr(f.key),
+		Canonical:        f.key,
+		Workload:         f.req.Workload,
+		Scheme:           f.req.Scheme,
+		PredictorEntries: f.req.PredictorEntries,
+		Source:           "sim",
+		IPC:              result.Stats.IPC(),
+		PredAccuracy:     result.Stats.PredAccuracy(),
+		SimMS:            float64(elapsed) / float64(time.Millisecond),
+		Stats:            result.Stats,
+		Report:           result.Report,
+	}
+	if s.store != nil {
+		if err := s.store.Put(f.key, f.resp); err != nil {
+			s.cfg.Logf("store: persisting %s: %v", f.key, err)
+		} else {
+			s.metrics.StoreWrites.Add(1)
+		}
+	}
+}
+
+// BeginDrain refuses new work: subsequent Do calls (and /healthz)
+// report draining, already-queued flights still run to completion.
+// Safe to call more than once.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	s.metrics.Draining.Store(1)
+	close(s.jobs)
+}
+
+// WaitIdle blocks until every accepted flight has completed, or until
+// ctx expires — at which point in-flight simulations are cancelled
+// (cooperatively, via the pipeline's context poll) and the workers are
+// still awaited so no goroutine outlives the call.
+func (s *Service) WaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Drain is BeginDrain + WaitIdle: the full graceful shutdown for
+// callers without an HTTP server in front (tests, embedding).
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	return s.WaitIdle(ctx)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"specguard/internal/bench"
+)
+
+func newTestService(t *testing.T, mutate func(*Config)) *Service {
+	t.Helper()
+	cfg := Config{
+		Runner:     bench.NewRunner(),
+		Workers:    2,
+		QueueDepth: 8,
+		Logf:       t.Logf,
+	}
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+func TestNormalizeKeyIdentity(t *testing.T) {
+	s := newTestService(t, nil)
+
+	// Implicit and explicit default predictor size share one identity.
+	def := s.runner.Model.PredictorEntries
+	_, k1, err := s.normalize(&RunRequest{Workload: "grep", Scheme: "2bit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := s.normalize(&RunRequest{Workload: "grep", Scheme: "2-bitBP", PredictorEntries: def})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("default-entries spellings differ:\n%s\n%s", k1, k2)
+	}
+
+	// Timeout and delay are execution parameters, not identity.
+	_, k3, _ := s.normalize(&RunRequest{Workload: "grep", Scheme: "2bit", TimeoutMS: 5000, DelayMS: 100})
+	if k1 != k3 {
+		t.Errorf("timeout/delay leaked into the identity key:\n%s\n%s", k1, k3)
+	}
+
+	// Scheme, entries and optimizer options are identity.
+	_, k4, _ := s.normalize(&RunRequest{Workload: "grep", Scheme: "perfect"})
+	_, k5, _ := s.normalize(&RunRequest{Workload: "grep", Scheme: "2bit", PredictorEntries: 4})
+	_, k6, _ := s.normalize(&RunRequest{Workload: "grep", Scheme: "proposed"})
+	_, k7, _ := s.normalize(&RunRequest{Workload: "grep", Scheme: "proposed", Opt: &OptRequest{DisableSplitting: true}})
+	keys := map[string]bool{k1: true, k4: true, k5: true, k6: true, k7: true}
+	if len(keys) != 5 {
+		t.Errorf("expected 5 distinct identities, got %d: %v", len(keys), keys)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	s := newTestService(t, nil)
+	cases := []RunRequest{
+		{Workload: "nope", Scheme: "2bit"},
+		{Workload: "grep", Scheme: "wat"},
+		{Workload: "grep", Scheme: "2bit", PredictorEntries: -1},
+		{Workload: "grep", Scheme: "perfect", Opt: &OptRequest{DisableLikely: true}},
+	}
+	for _, req := range cases {
+		if _, _, err := s.normalize(&req); err == nil {
+			t.Errorf("normalize(%+v) accepted an invalid request", req)
+		} else {
+			var bad *ErrBadRequest
+			if !errors.As(err, &bad) {
+				t.Errorf("normalize(%+v): error %v is not ErrBadRequest", req, err)
+			}
+		}
+	}
+}
+
+// TestCoalescing is the tentpole invariant: N identical concurrent
+// requests perform exactly one architectural run and one simulation;
+// N-1 requests coalesce onto the leader.
+func TestCoalescing(t *testing.T) {
+	s := newTestService(t, nil)
+	const n = 8
+	req := RunRequest{Workload: "grep", Scheme: "2bit", DelayMS: 300}
+
+	var wg sync.WaitGroup
+	resps := make([]*RunResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Do(context.Background(), req, nil)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	if got := s.runner.ArchRuns(); got != 1 {
+		t.Errorf("ArchRuns = %d, want 1 (one capture for n identical requests)", got)
+	}
+	if got := s.metrics.SimRuns.Load(); got != 1 {
+		t.Errorf("SimRuns = %d, want 1", got)
+	}
+	if got := s.metrics.CoalescedHits.Load(); got != n-1 {
+		t.Errorf("CoalescedHits = %d, want %d", got, n-1)
+	}
+	var simSources, coalescedSources int
+	for i := 0; i < n; i++ {
+		switch resps[i].Source {
+		case "sim":
+			simSources++
+		case "coalesced":
+			coalescedSources++
+		}
+		if !reflect.DeepEqual(resps[i].Stats, resps[0].Stats) {
+			t.Errorf("request %d got different Stats than the leader", i)
+		}
+	}
+	if simSources != 1 || coalescedSources != n-1 {
+		t.Errorf("sources: sim=%d coalesced=%d, want 1/%d", simSources, coalescedSources, n-1)
+	}
+}
+
+// TestStoreHitAcrossRestart: a second service sharing the store dir
+// answers the same request from disk with zero simulations.
+func TestStoreHitAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Service {
+		return newTestService(t, func(c *Config) {
+			st, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Store = st
+		})
+	}
+	req := RunRequest{Workload: "grep", Scheme: "2bit"}
+
+	s1 := open()
+	first, err := s1.Do(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "sim" {
+		t.Fatalf("first request source = %q, want sim", first.Source)
+	}
+
+	s2 := open() // fresh runner: no profiles, no traces
+	second, err := s2.Do(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "store" {
+		t.Errorf("post-restart source = %q, want store", second.Source)
+	}
+	if got := s2.runner.ArchRuns(); got != 0 {
+		t.Errorf("post-restart ArchRuns = %d, want 0 (no re-simulation)", got)
+	}
+	if got := s2.metrics.SimRuns.Load(); got != 0 {
+		t.Errorf("post-restart SimRuns = %d, want 0", got)
+	}
+	if !reflect.DeepEqual(second.Stats, first.Stats) {
+		t.Errorf("stored Stats diverged from the original:\nfirst:  %+v\nsecond: %+v", first.Stats, second.Stats)
+	}
+}
+
+// TestTimingVariantsShareTraces: distinct predictor sizes are distinct
+// identities (no false sharing) but reuse the architectural trace.
+func TestTimingVariantsShareTraces(t *testing.T) {
+	s := newTestService(t, nil)
+	for _, entries := range []int{0, 4, 64} {
+		req := RunRequest{Workload: "grep", Scheme: "2bit", PredictorEntries: entries}
+		if _, err := s.Do(context.Background(), req, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.runner.ArchRuns(); got != 1 {
+		t.Errorf("ArchRuns = %d, want 1 (timing sweep must reuse the trace)", got)
+	}
+	if got := s.metrics.SimRuns.Load(); got != 3 {
+		t.Errorf("SimRuns = %d, want 3 (one per table size)", got)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+	})
+	// Fill the single worker and the single queue slot with slow,
+	// distinct requests.
+	hold := RunRequest{Workload: "grep", Scheme: "2bit", DelayMS: 2000}
+	hold2 := RunRequest{Workload: "grep", Scheme: "perfect", DelayMS: 2000}
+	launched := make(chan struct{}, 2)
+	go func() { launched <- struct{}{}; s.Do(context.Background(), hold, nil) }()
+	go func() { launched <- struct{}{}; s.Do(context.Background(), hold2, nil) }()
+	<-launched
+	<-launched
+	// Wait until one job is in flight and one is queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.InFlight.Load() != 1 || s.metrics.QueueDepth.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: inflight=%d queued=%d",
+				s.metrics.InFlight.Load(), s.metrics.QueueDepth.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	_, err := s.Do(context.Background(), RunRequest{Workload: "grep", Scheme: "proposed"}, nil)
+	var over *ErrOverloaded
+	if !errors.As(err, &over) {
+		t.Fatalf("saturated service returned %v, want ErrOverloaded", err)
+	}
+	if over.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want ≥ 1s", over.RetryAfter)
+	}
+	if got := s.metrics.Rejected.Load(); got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestGracefulDrain: queued work completes during drain, new work is
+// refused, and WaitIdle returns once the pool is quiet.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestService(t, nil)
+	req := RunRequest{Workload: "grep", Scheme: "2bit", DelayMS: 300}
+	type outcome struct {
+		res *RunResponse
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.Do(context.Background(), req, nil)
+		done <- outcome{res, err}
+	}()
+	// Let the request enter the pool before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.InFlight.Load()+s.metrics.QueueDepth.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered the pool")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	s.BeginDrain()
+	if _, err := s.Do(context.Background(), RunRequest{Workload: "grep", Scheme: "perfect"}, nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("Do during drain = %v, want ErrDraining", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", o.err)
+	}
+	if o.res.Source != "sim" {
+		t.Errorf("drained request source = %q, want sim", o.res.Source)
+	}
+	// The drained result was persisted.
+	if got := s.metrics.StoreWrites.Load(); got != 1 {
+		t.Errorf("StoreWrites = %d, want 1 (drain must not drop the persist)", got)
+	}
+}
+
+// TestForcedDrainCancelsSimulations: when the drain deadline passes,
+// WaitIdle cancels in-flight work instead of hanging.
+func TestForcedDrainCancelsSimulations(t *testing.T) {
+	s := newTestService(t, func(c *Config) { c.MaxDelay = time.Minute })
+	req := RunRequest{Workload: "grep", Scheme: "2bit", DelayMS: 30000}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), req, nil)
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.InFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered the pool")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.WaitIdle(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitIdle = %v, want deadline exceeded", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("forcibly cancelled request reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request still blocked after forced drain")
+	}
+}
+
+// TestPerRequestTimeout: a tiny timeout aborts the simulation through
+// the pipeline's cooperative cancellation.
+func TestPerRequestTimeout(t *testing.T) {
+	s := newTestService(t, nil)
+	req := RunRequest{Workload: "xlisp", Scheme: "2bit", TimeoutMS: 1}
+	_, err := s.Do(context.Background(), req, nil)
+	if err == nil {
+		t.Skip("simulation finished inside 1ms; timeout untestable on this machine")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timed-out request error = %v, want DeadlineExceeded in the chain", err)
+	}
+	if got := s.metrics.SimErrors.Load(); got != 1 {
+		t.Errorf("SimErrors = %d, want 1", got)
+	}
+	// A failed flight must not poison the identity: a retry without
+	// the timeout succeeds.
+	res, err := s.Do(context.Background(), RunRequest{Workload: "xlisp", Scheme: "2bit"}, nil)
+	if err != nil {
+		t.Fatalf("retry after timeout: %v", err)
+	}
+	if res.Source != "sim" {
+		t.Errorf("retry source = %q, want sim", res.Source)
+	}
+}

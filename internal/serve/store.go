@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// storeVersion is the on-disk schema version. Entries written under a
+// different version are treated as misses (and left in place for a
+// future migration, not quarantined: they are well-formed, just old).
+const storeVersion = 1
+
+// Store is a content-addressed result store: each completed experiment
+// is persisted under the SHA-256 of its canonical request key, so
+// identical requests — across restarts, across replicas sharing a
+// volume — are answered from disk without re-simulation.
+//
+// Layout:
+//
+//	<dir>/objects/<hh>/<sha256>.json   entry (hh = first hash byte)
+//	<dir>/quarantine/<sha256>.json     corrupt entries, moved aside
+//
+// Writes are atomic: the entry is written to a temp file in the final
+// directory and renamed into place, so readers never observe a torn
+// entry and a crash mid-write leaves at most an orphan temp file.
+// Unparsable or mismatched entries are quarantined on read, so one
+// corrupt object degrades to a cache miss instead of a serving error.
+type Store struct {
+	dir string
+}
+
+// storeEntry is the serialized form. Key is stored in clear and
+// verified on read: it guards against hash collisions, truncated
+// writes that still parse, and entries copied between stores.
+type storeEntry struct {
+	Version int          `json:"version"`
+	Key     string       `json:"key"`
+	SavedAt time.Time    `json:"saved_at"`
+	Result  *RunResponse `json:"result"`
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	for _, d := range []string{filepath.Join(dir, "objects"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// addr returns the content address (SHA-256 hex) of a canonical key.
+func addr(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) objectPath(a string) string {
+	return filepath.Join(s.dir, "objects", a[:2], a+".json")
+}
+
+// Get returns the stored result for key, or ok=false on a miss. A
+// corrupt entry is moved to quarantine and reported as a miss with
+// quarantined=true so the caller can count it.
+func (s *Store) Get(key string) (res *RunResponse, ok, quarantined bool, err error) {
+	a := addr(key)
+	path := s.objectPath(a)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, false, nil
+	}
+	if err != nil {
+		return nil, false, false, fmt.Errorf("serve: reading store entry: %w", err)
+	}
+	var e storeEntry
+	if uerr := json.Unmarshal(data, &e); uerr != nil || e.Key != key || e.Result == nil {
+		return nil, false, true, s.quarantine(a, path)
+	}
+	if e.Version != storeVersion {
+		return nil, false, false, nil
+	}
+	return e.Result, true, false, nil
+}
+
+// quarantine moves a corrupt object aside so it never corrupts another
+// read, preserving the bytes for diagnosis.
+func (s *Store) quarantine(a, path string) error {
+	dst := filepath.Join(s.dir, "quarantine", a+".json")
+	if err := os.Rename(path, dst); err != nil {
+		// Removing is an acceptable fallback: the entry is unusable.
+		if rmErr := os.Remove(path); rmErr != nil {
+			return fmt.Errorf("serve: quarantining %s: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// Put persists a completed result under key, atomically: marshal,
+// write to a temp file alongside the destination, fsync, rename.
+func (s *Store) Put(key string, res *RunResponse) error {
+	e := storeEntry{Version: storeVersion, Key: key, SavedAt: time.Now().UTC(), Result: res}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("serve: encoding store entry: %w", err)
+	}
+	a := addr(key)
+	path := s.objectPath(a)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("serve: writing store entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+a+".tmp-")
+	if err != nil {
+		return fmt.Errorf("serve: writing store entry: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: writing store entry: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: syncing store entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: closing store entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: committing store entry: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testResponse(key string) *RunResponse {
+	return &RunResponse{
+		Key:       addr(key),
+		Canonical: key,
+		Workload:  "grep",
+		Scheme:    "2-bitBP",
+		Source:    "sim",
+		IPC:       1.5,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "v1|w=grep|fp=00|s=2-bitBP|e=512|o=default"
+
+	if _, ok, _, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, testResponse(key)); err != nil {
+		t.Fatal(err)
+	}
+	res, ok, quarantined, err := s.Get(key)
+	if err != nil || !ok || quarantined {
+		t.Fatalf("Get after Put: ok=%v quarantined=%v err=%v", ok, quarantined, err)
+	}
+	if res.IPC != 1.5 || res.Workload != "grep" {
+		t.Errorf("round-trip mangled the response: %+v", res)
+	}
+}
+
+func TestStorePutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	if err := s.Put(key, testResponse(key)); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings after a successful Put.
+	var stray []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(info.Name(), ".tmp-") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) > 0 {
+		t.Errorf("temp files left behind: %v", stray)
+	}
+}
+
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	if err := s.Put(key, testResponse(key)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath(addr(key))
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ok, quarantined, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !quarantined {
+		t.Fatalf("corrupt entry: ok=%v quarantined=%v, want miss+quarantine", ok, quarantined)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt object still present after quarantine")
+	}
+	qpath := filepath.Join(dir, "quarantine", addr(key)+".json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("quarantined bytes not preserved: %v", err)
+	}
+	// The miss is clean: a fresh Put re-populates the slot.
+	if err := s.Put(key, testResponse(key)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _, _ := s.Get(key); !ok {
+		t.Error("slot unusable after quarantine + re-Put")
+	}
+}
+
+// TestStoreKeyMismatchQuarantined: an entry whose clear-text key does
+// not match the requested key (collision, copied file) is a miss.
+func TestStoreKeyMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	e := storeEntry{Version: storeVersion, Key: "other", Result: testResponse("other")}
+	data, _ := json.Marshal(&e)
+	path := s.objectPath(addr(key))
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	os.WriteFile(path, data, 0o644)
+
+	_, ok, quarantined, err := s.Get(key)
+	if err != nil || ok || !quarantined {
+		t.Fatalf("mismatched key: ok=%v quarantined=%v err=%v", ok, quarantined, err)
+	}
+}
+
+// TestStoreVersionSkew: a well-formed entry from another schema
+// version is a plain miss — left in place, not quarantined.
+func TestStoreVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "k"
+	e := storeEntry{Version: storeVersion + 1, Key: key, Result: testResponse(key)}
+	data, _ := json.Marshal(&e)
+	path := s.objectPath(addr(key))
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	os.WriteFile(path, data, 0o644)
+
+	_, ok, quarantined, err := s.Get(key)
+	if err != nil || ok || quarantined {
+		t.Fatalf("version skew: ok=%v quarantined=%v err=%v", ok, quarantined, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Error("future-version entry should stay in place for migration")
+	}
+}
