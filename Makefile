@@ -26,26 +26,31 @@ test:
 
 # Race-detector pass over the concurrency-heavy packages: the serve
 # layer (coalescing, drain, backpressure) and the bench trace caches
-# it is built on.
+# it is built on — plus the batch golden tests (multi-lane lockstep
+# over one shared decode window), pinning lane isolation under -race.
 test-race:
 	$(GO) test -race ./internal/serve/... ./internal/bench/...
+	$(GO) test -race -run 'TestBatchMatchesSingle|TestGoldenStatsBatched' ./internal/pipeline ./internal/bench
 
 # One iteration of each performance benchmark — catches benchmark rot
 # without paying for a full measurement run — plus a fixed-seed sweep of
 # the front-end agreement oracle (interp vs. predecode vs. trace
 # replay).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipe|BenchmarkPipeReplay' -benchtime 1x ./internal/pipeline
+	$(GO) test -run '^$$' -bench 'BenchmarkPipe|BenchmarkPipeReplay|BenchmarkBatchPipe' -benchtime 1x ./internal/pipeline
 	$(GO) test -run '^$$' -bench BenchmarkInterpStep -benchtime 1x ./internal/interp
 	$(GO) test -run '^$$' -bench BenchmarkTraceReplay -benchtime 1x ./internal/trace
 	$(GO) test -run '^$$' -bench BenchmarkProfileAnalyze -benchtime 1x ./internal/profile
 	$(GO) run ./cmd/sgfuzz -frontend -seeds 25
 
 # A bounded sweep of the differential fuzzer (internal/fuzz): every
-# seed must pass the interp/pipeline/xform agreement oracle. Seconds,
-# not minutes; `sgfuzz -seeds 500` (or more) is the deep version.
+# seed must pass the interp/pipeline/xform agreement oracle (which now
+# includes the batch-vs-single lockstep stage), plus a focused sweep of
+# the batch oracle alone on a disjoint seed range. Seconds, not
+# minutes; `sgfuzz -seeds 500` (or more) is the deep version.
 fuzz-smoke:
 	$(GO) run ./cmd/sgfuzz -seeds 50
+	$(GO) run ./cmd/sgfuzz -batch -start 1000 -seeds 50
 
 # End-to-end smoke of the experiment daemon: coalescing, graceful
 # drain under SIGTERM, and post-restart store-hit replay, all asserted

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"testing"
 	"time"
 
@@ -197,14 +199,16 @@ func printAblation(newRunner func() *bench.Runner) error {
 	return nil
 }
 
-// benchReport is the schema of BENCH_pipeline.json's and
-// BENCH_frontend.json's per-measurement records (see
-// scripts/bench_json.sh).
+// benchReport is the schema of BENCH_pipeline.json's,
+// BENCH_frontend.json's and BENCH_batch.json's per-measurement records
+// (see scripts/bench_json.sh, which writes the report to
+// BENCH_batch.json).
 type benchReport struct {
-	GOMAXPROCS   int   `json:"gomaxprocs"`
-	PipeNsOp     int64 `json:"pipe_ns_op"`
-	PipeAllocsOp int64 `json:"pipe_allocs_op"`
-	PipeBytesOp  int64 `json:"pipe_bytes_op"`
+	Comment      string `json:"comment"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	PipeNsOp     int64  `json:"pipe_ns_op"`
+	PipeAllocsOp int64  `json:"pipe_allocs_op"`
+	PipeBytesOp  int64  `json:"pipe_bytes_op"`
 	// Architectural front-end rates over the benchmark kernel.
 	InterpLiveMinstrS float64 `json:"interp_live_minstr_per_s"`
 	InterpFlatMinstrS float64 `json:"interp_predecoded_minstr_per_s"`
@@ -222,7 +226,50 @@ type benchReport struct {
 	SweepSimulations int   `json:"sweep_simulations"`
 	SuiteWallMs      int64 `json:"suite_wall_ms"`
 	AblationWallMs   int64 `json:"ablation_row_wall_ms"`
+	// Batched lockstep (pipeline.Batch) over the same kernel trace:
+	// aggregate lane throughput at each lane count, and the 24-lane
+	// multiple over the single-lane figure — the decode/dependence
+	// amortization factor on one shared drain.
+	BatchPipe     []batchRate `json:"batch_pipe_on_trace"`
+	BatchSpeedupX float64     `json:"batch_speedup_x"`
+	// The 24-cell predictor sweep (every workload × {TwoBit, Proposed,
+	// Perfect} × {512, 1024} entries) on pre-warmed runners: per-cell
+	// RunSpec vs. batched RunSpecs, best-of-5 process CPU time, plus
+	// the batched path's drain accounting. The PR 5 baseline is the
+	// same sweep measured at that commit's tip with the same protocol
+	// (recorded in sweep24PR5BaselineMs).
+	Sweep24SingleCPUMs      int64   `json:"sweep24_single_cpu_ms"`
+	Sweep24BatchedCPUMs     int64   `json:"sweep24_batched_cpu_ms"`
+	Sweep24SpeedupX         float64 `json:"sweep24_speedup_x"`
+	Sweep24TraceDrains      int64   `json:"sweep24_trace_drains"`
+	Sweep24SimLanes         int64   `json:"sweep24_sim_lanes"`
+	Sweep24DrainsPerPair    float64 `json:"sweep24_drains_per_workload_program"`
+	Sweep24PR5BaselineCPUMs int64   `json:"sweep24_pr5_baseline_cpu_ms"`
+	Sweep24SpeedupVsPR5X    float64 `json:"sweep24_speedup_vs_pr5_baseline_x"`
 }
+
+// batchRate is one batched-lockstep measurement: aggregate lane
+// throughput (events × lanes per second of the shared drain) at a
+// fixed lane count, alternating 512/1024-entry predictor tables so
+// lanes genuinely differ.
+type batchRate struct {
+	Lanes   int     `json:"lanes"`
+	MinstrS float64 `json:"pipe_on_trace_minstr_per_s"`
+}
+
+// sweep24PR5BaselineMs is the 24-cell sweep's per-cell CPU time
+// measured at the PR 5 tip (commit cb0ceb1) with the same warmed
+// best-of-N process-CPU protocol, recorded so regenerated reports keep
+// the cross-commit comparison the batching work is judged against.
+const sweep24PR5BaselineMs = 2718
+
+const benchComment = "Batched lockstep timing simulation. batch_pipe_on_trace counts " +
+	"lane-instructions (events × lanes) over one shared trace drain; batch_speedup_x is the " +
+	"24-lane aggregate rate over the 1-lane rate. sweep24_* times the full 24-cell predictor " +
+	"sweep on warmed runners (profiles, optimized programs and packed traces prebuilt), " +
+	"best-of-5 process CPU time so co-tenant noise cannot inflate either side. Regenerate " +
+	"with scripts/bench_json.sh (writes BENCH_batch.json). Measured on a 1-core container " +
+	"(GOMAXPROCS=1)."
 
 // benchKernel is the BenchmarkPipe program (kept in sync with
 // internal/pipeline/speed_test.go) so released binaries can reproduce
@@ -354,6 +401,43 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 		}
 	})
 
+	// Batched lockstep rates: the same packed trace drained once per
+	// Batch.Run, feeding N lanes (mirrors BenchmarkBatchPipe).
+	var batchRates []batchRate
+	for _, lanes := range []int{1, 4, 8, 24} {
+		lanes := lanes
+		sizes := make([]int, lanes)
+		for i := range sizes {
+			sizes[i] = 512 << uint(i%2)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				preds := predict.NewTwoBitLanes(sizes)
+				cfgs := make([]pipeline.Config, lanes)
+				for j := range cfgs {
+					cfgs[j] = pipeline.Config{Model: machine.R10000(), Predictor: preds[j]}
+				}
+				batch, err := pipeline.NewBatch(cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := batch.Run(tr.NewReader()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		batchRates = append(batchRates, batchRate{Lanes: lanes, MinstrS: rate(events*int64(lanes), res)})
+	}
+	batchSpeedup := batchRates[len(batchRates)-1].MinstrS / batchRates[0].MinstrS
+
+	sweepSingle, sweepBatched, sweepDrains, sweepLanes, err := sweep24CPU()
+	if err != nil {
+		return err
+	}
+	// Distinct (workload, program) pairs in the sweep: each workload
+	// contributes its original program and its optimizer rewrite.
+	sweepPairs := float64(2 * len(bench.All()))
+
 	// Predictor sweep on one Runner: a full table at two table sizes.
 	// Timing runs double; architectural runs must not.
 	sweep := newRunner()
@@ -379,6 +463,7 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 	ablationWall := time.Since(start)
 
 	rep := benchReport{
+		Comment:            benchComment,
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		PipeNsOp:           pipe.NsPerOp(),
 		PipeAllocsOp:       pipe.AllocsPerOp(),
@@ -392,8 +477,93 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 		SweepSimulations:   sweepSims,
 		SuiteWallMs:        suiteWall.Milliseconds(),
 		AblationWallMs:     ablationWall.Milliseconds(),
+
+		BatchPipe:               batchRates,
+		BatchSpeedupX:           round2(batchSpeedup),
+		Sweep24SingleCPUMs:      sweepSingle.Milliseconds(),
+		Sweep24BatchedCPUMs:     sweepBatched.Milliseconds(),
+		Sweep24SpeedupX:         round2(float64(sweepSingle) / float64(sweepBatched)),
+		Sweep24TraceDrains:      sweepDrains,
+		Sweep24SimLanes:         sweepLanes,
+		Sweep24DrainsPerPair:    round2(float64(sweepDrains) / sweepPairs),
+		Sweep24PR5BaselineCPUMs: sweep24PR5BaselineMs,
+		Sweep24SpeedupVsPR5X:    round2(sweep24PR5BaselineMs * float64(time.Millisecond) / float64(sweepBatched)),
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// round2 keeps report ratios readable.
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// cpuTime returns the process CPU time (user+system). On a shared box
+// wall clock charges co-tenant bursts to whichever side happens to be
+// running; CPU time does not.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	syscall.Getrusage(syscall.RUSAGE_SELF, &ru)
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// sweep24CPU times the 24-cell predictor sweep (every workload ×
+// {TwoBit, Proposed, Perfect} × {512, 1024} entries) through the
+// per-cell RunSpec path and the batched RunSpecs path. Both runners
+// are pre-warmed (profiles, optimizer rewrites, packed traces), so the
+// measured region is exactly the 24 timing simulations; best-of-5
+// process CPU time keeps scheduler noise out of the ratio. The drain
+// counters are the batched path's per-sweep totals.
+func sweep24CPU() (single, batched time.Duration, drains, lanes int64, err error) {
+	ctx := context.Background()
+	warm := func() (*bench.Runner, error) {
+		r := bench.NewRunner()
+		r.Parallelism = 1
+		for _, w := range bench.All() {
+			if _, err := r.ProfileOf(w); err != nil {
+				return nil, err
+			}
+			if _, err := r.RunSpec(ctx, bench.Spec{Workload: w, Scheme: bench.SchemeProposed}); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	}
+	rs, err := warm()
+	if err != nil {
+		return
+	}
+	rb, err := warm()
+	if err != nil {
+		return
+	}
+	var specs []bench.Spec
+	for _, entries := range []int{512, 1024} {
+		for _, w := range bench.All() {
+			for _, s := range []bench.Scheme{bench.SchemeTwoBit, bench.SchemeProposed, bench.SchemePerfect} {
+				specs = append(specs, bench.Spec{Workload: w, Scheme: s, Entries: entries})
+			}
+		}
+	}
+	single, batched = 1<<62, 1<<62
+	for i := 0; i < 5; i++ {
+		t0 := cpuTime()
+		for _, sp := range specs {
+			if _, err = rs.RunSpec(ctx, sp); err != nil {
+				return
+			}
+		}
+		if d := cpuTime() - t0; d < single {
+			single = d
+		}
+		d0, l0 := rb.TraceDrains(), rb.SimLanes()
+		t0 = cpuTime()
+		if _, err = rb.RunSpecs(ctx, specs); err != nil {
+			return
+		}
+		if d := cpuTime() - t0; d < batched {
+			batched = d
+		}
+		drains, lanes = rb.TraceDrains()-d0, rb.SimLanes()-l0
+	}
+	return
 }

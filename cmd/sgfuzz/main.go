@@ -26,6 +26,7 @@ import (
 	"specguard/internal/asm"
 	"specguard/internal/buildinfo"
 	"specguard/internal/fuzz"
+	"specguard/internal/prog"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	doShrink := flag.Bool("shrink", true, "reduce failing programs before saving them")
 	replay := flag.String("replay", "", "re-check one saved corpus file and exit")
 	frontOnly := flag.Bool("frontend", false, "run only the front-end agreement oracle (interp vs. predecode vs. trace replay)")
+	batchOnly := flag.Bool("batch", false, "run only the batch-vs-single lockstep oracle (mixed-config lanes over one trace drain)")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -58,7 +60,19 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayFile(o, *replay))
 	}
-	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, *frontOnly, *verbose))
+	if *frontOnly && *batchOnly {
+		fmt.Fprintln(os.Stderr, "sgfuzz: -frontend and -batch are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	check := o.Check
+	switch {
+	case *frontOnly:
+		check = o.CheckFrontEnd
+	case *batchOnly:
+		check = o.CheckBatch
+	}
+	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, check, *verbose))
 }
 
 // replayFile re-runs the oracle on one saved reproducer.
@@ -81,13 +95,10 @@ func replayFile(o *fuzz.Oracle, path string) int {
 	return 0
 }
 
-// sweep runs the oracle over [start, start+seeds) and saves shrunk
-// reproducers for every failure.
-func sweep(o *fuzz.Oracle, start int64, seeds int, corpus string, doShrink, frontOnly, verbose bool) int {
-	check := o.Check
-	if frontOnly {
-		check = o.CheckFrontEnd
-	}
+// sweep runs the given oracle stage over [start, start+seeds) and
+// saves shrunk reproducers for every failure.
+func sweep(o *fuzz.Oracle, start int64, seeds int, corpus string, doShrink bool,
+	check func(*prog.Program) error, verbose bool) int {
 	failures := 0
 	for i := 0; i < seeds; i++ {
 		seed := start + int64(i)

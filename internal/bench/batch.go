@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"specguard/internal/core"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
+	"specguard/internal/prog"
+)
+
+// Batched sweep execution: RunSpecs groups heterogeneous Specs by the
+// trace they replay — the (workload, program fingerprint) pair — and
+// runs each group as one pipeline.Batch, so a whole sweep costs one
+// trace drain per distinct architectural execution instead of one per
+// cell. Within a group, cells that differ only in quantities the
+// timing simulation ignores (a Perfect lane's table size; duplicate
+// cells) share a lane outright. Lane Stats are byte-identical to the
+// single-lane RunSpec path (pinned by TestGoldenStatsBatched and the
+// drain-accounting test).
+
+// laneKey identifies a timing configuration within one trace group:
+// the predictor is the only thing RunSpecs varies per lane today.
+type laneKey struct {
+	perfect bool
+	entries int // 0 for perfect lanes
+}
+
+// batchLane is one timing simulation shared by every spec index that
+// maps to the same laneKey within a group.
+type batchLane struct {
+	key      laneKey
+	pred     predict.Predictor
+	specIdxs []int
+	stats    pipeline.Stats
+}
+
+// batchGroup is one trace drain: all lanes replaying the same
+// (workload, program) architectural execution.
+type batchGroup struct {
+	w     Workload
+	p     *prog.Program
+	lanes []*batchLane
+	byKey map[laneKey]*batchLane
+}
+
+// TraceDrains returns how many times a packed trace has been decoded
+// into timing simulations (each RunSpec costs one drain; a batched
+// group of N lanes costs one drain total). Together with SimLanes it
+// makes batching efficiency observable: lanes/drain is the
+// amortization factor.
+func (r *Runner) TraceDrains() int64 { return r.traceDrains.Load() }
+
+// SimLanes returns how many timing simulations have been fed by those
+// drains.
+func (r *Runner) SimLanes() int64 { return r.simLanes.Load() }
+
+// RunSpecs simulates every Spec, batching cells that replay the same
+// trace into one lockstep pipeline.Batch. Results are returned in spec
+// order and are byte-identical to calling RunSpec per cell; only the
+// cost model changes — one trace decode and one dependence pre-pass
+// per (workload, program) group, amortized over all of its lanes.
+func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
+	out := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1 (serial, cheap next to the timing loops): resolve each
+	// spec to its exact program, profile and — for Proposed cells — the
+	// optimizer report, deduplicating optimizer runs by (workload,
+	// options) and folding the cells into trace groups and lanes.
+	type optKey struct {
+		workload string
+		opts     core.Options
+	}
+	type optVal struct {
+		p   *prog.Program
+		rep *core.Report
+	}
+	optCache := map[optKey]optVal{}
+	groups := map[traceKey]*batchGroup{}
+	var order []*batchGroup
+
+	for i, spec := range specs {
+		w := spec.Workload
+		out[i] = Result{Workload: w.Name, Scheme: spec.Scheme}
+		entries := spec.Entries
+		if entries <= 0 {
+			entries = r.entries()
+		}
+		prof, err := r.ProfileOf(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Profile = prof
+
+		var p *prog.Program
+		switch spec.Scheme {
+		case SchemeTwoBit, SchemePerfect:
+			p = w.Build()
+		case SchemeProposed:
+			opts := w.Opt
+			if spec.Opt != nil {
+				opts = *spec.Opt
+			}
+			ok := optKey{w.Name, opts}
+			ov, hit := optCache[ok]
+			if !hit {
+				ov.p = w.Build()
+				ov.rep, err = core.Optimize(ov.p, prof, r.Model, opts)
+				if err != nil {
+					return nil, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
+				}
+				optCache[ok] = ov
+			}
+			p = ov.p
+			out[i].Report = ov.rep
+		default:
+			return nil, fmt.Errorf("bench: unknown scheme %d", spec.Scheme)
+		}
+
+		gk := traceKey{w.Name, p.Fingerprint()}
+		g := groups[gk]
+		if g == nil {
+			g = &batchGroup{w: w, p: p, byKey: map[laneKey]*batchLane{}}
+			groups[gk] = g
+			order = append(order, g)
+		}
+		lk := laneKey{perfect: spec.Scheme == SchemePerfect}
+		if !lk.perfect {
+			lk.entries = entries
+		}
+		ln := g.byKey[lk]
+		if ln == nil {
+			ln = &batchLane{key: lk}
+			g.byKey[lk] = ln
+			g.lanes = append(g.lanes, ln)
+		}
+		ln.specIdxs = append(ln.specIdxs, i)
+	}
+
+	// Phase 2: one lockstep batch per group, independent groups in
+	// parallel (bounded like every other fan-out helper).
+	errs := make([]error, len(order))
+	r.parallelFor(ctx, len(order), func(gi int) {
+		errs[gi] = r.runGroup(ctx, order[gi])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, g := range order {
+		for _, ln := range g.lanes {
+			for _, i := range ln.specIdxs {
+				out[i].Stats = ln.stats
+			}
+		}
+	}
+	return out, nil
+}
+
+// runGroup drains one trace through all of a group's lanes in
+// lockstep. TwoBit lanes get their counter tables carved out of a
+// single contiguous backing array, in lane order, so the batch's
+// predictor state stays dense.
+func (r *Runner) runGroup(ctx context.Context, g *batchGroup) error {
+	tr, err := r.traceFor(g.p, g.w)
+	if err != nil {
+		return err
+	}
+
+	var sizes []int
+	var twoBitLanes []*batchLane
+	for _, ln := range g.lanes {
+		if !ln.key.perfect {
+			sizes = append(sizes, ln.key.entries)
+			twoBitLanes = append(twoBitLanes, ln)
+		}
+	}
+	preds := predict.NewTwoBitLanes(sizes)
+	for i, ln := range twoBitLanes {
+		ln.pred = preds[i]
+	}
+	cfgs := make([]pipeline.Config, len(g.lanes))
+	for i, ln := range g.lanes {
+		if ln.key.perfect {
+			ln.pred = predict.NewPerfect()
+		}
+		cfgs[i] = pipeline.Config{Model: r.Model, Predictor: ln.pred, Context: ctx}
+	}
+	batch, err := pipeline.NewBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	stats, err := batch.Run(tr.NewReader())
+	if err != nil {
+		return fmt.Errorf("bench: simulating %s: %w", g.w.Name, err)
+	}
+	r.traceDrains.Add(1)
+	r.simLanes.Add(int64(len(g.lanes)))
+	for i, ln := range g.lanes {
+		ln.stats = stats[i]
+	}
+	return nil
+}

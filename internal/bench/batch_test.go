@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenSpecs is the 12-cell matrix in golden_stats.json order
+// (workload-major, schemes TwoBit/Proposed/Perfect).
+func goldenSpecs() []Spec {
+	var specs []Spec
+	for _, w := range All() {
+		for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
+			specs = append(specs, Spec{Workload: w, Scheme: s})
+		}
+	}
+	return specs
+}
+
+// TestGoldenStatsBatched pins the batched sweep path to the same
+// golden file as the single-lane path: every lane of every
+// pipeline.Batch that RunSpecs schedules must produce Stats
+// byte-identical to the per-cell RunSpec runs that recorded
+// testdata/golden_stats.json.
+func TestGoldenStatsBatched(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_stats.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenStats -update first): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := goldenSpecs()
+	if len(want) != len(specs) {
+		t.Fatalf("golden file has %d cells, sweep has %d", len(want), len(specs))
+	}
+	results, err := NewRunner().RunSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Workload != want[i].Workload || res.Scheme.String() != want[i].Scheme {
+			t.Fatalf("cell %d is %s/%s, golden has %s/%s",
+				i, res.Workload, res.Scheme, want[i].Workload, want[i].Scheme)
+		}
+		got, err := json.Marshal(res.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantCompact bytes.Buffer
+		if err := json.Compact(&wantCompact, want[i].Stats); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantCompact.Bytes()) {
+			t.Errorf("%s/%s: batched stats diverged from golden\n got: %s\nwant: %s",
+				res.Workload, res.Scheme, got, wantCompact.Bytes())
+		}
+	}
+}
+
+// sweepSpecs24 is the canonical two-size predictor sweep from
+// ISSUE 6's acceptance criteria: 4 workloads x 3 schemes x 2 table
+// sizes.
+func sweepSpecs24() []Spec {
+	var specs []Spec
+	for _, entries := range []int{512, 1024} {
+		for _, w := range All() {
+			for _, s := range []Scheme{SchemeTwoBit, SchemeProposed, SchemePerfect} {
+				specs = append(specs, Spec{Workload: w, Scheme: s, Entries: entries})
+			}
+		}
+	}
+	return specs
+}
+
+// TestRunSpecsDrainAccounting pins the batching economics of the
+// 24-cell sweep: two trace drains per workload (original program +
+// optimized program), Perfect lanes deduplicated across table sizes,
+// and no extra architectural runs beyond the 8 captures.
+func TestRunSpecsDrainAccounting(t *testing.T) {
+	r := NewRunner()
+	ctx := context.Background()
+	specs := sweepSpecs24()
+	results, err := r.RunSpecs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 24 {
+		t.Fatalf("got %d results, want 24", len(results))
+	}
+	// 4 workloads x {original trace, optimized trace}.
+	if got := r.TraceDrains(); got != 8 {
+		t.Errorf("TraceDrains = %d, want 8", got)
+	}
+	// Per workload: TwoBit@512, TwoBit@1024, Proposed@512,
+	// Proposed@1024, Perfect (table size irrelevant, one shared lane).
+	if got := r.SimLanes(); got != 20 {
+		t.Errorf("SimLanes = %d, want 20", got)
+	}
+	if got := r.ArchRuns(); got != 8 {
+		t.Errorf("ArchRuns = %d, want 8", got)
+	}
+
+	// The two Perfect cells of each workload shared one lane — their
+	// Stats must be identical objects, and every non-empty cell must
+	// have run (Cycles > 0).
+	byCell := map[[3]interface{}]Result{}
+	for i, res := range results {
+		spec := specs[i]
+		byCell[[3]interface{}{spec.Workload.Name, spec.Scheme, spec.Entries}] = res
+		if res.Stats.Cycles <= 0 {
+			t.Errorf("cell %d (%s/%s@%d) has Cycles=%d", i, res.Workload, res.Scheme, spec.Entries, res.Stats.Cycles)
+		}
+	}
+	for _, w := range All() {
+		a := byCell[[3]interface{}{w.Name, SchemePerfect, 512}]
+		b := byCell[[3]interface{}{w.Name, SchemePerfect, 1024}]
+		if !reflect.DeepEqual(a.Stats, b.Stats) {
+			t.Errorf("%s: Perfect lanes at 512/1024 diverged despite sharing a lane", w.Name)
+		}
+	}
+
+	// Spot-check a non-golden cell (1024-entry table) against the
+	// single-lane path on the same warmed Runner.
+	w := All()[0]
+	single, err := r.RunSpec(ctx, Spec{Workload: w, Scheme: SchemeTwoBit, Entries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := byCell[[3]interface{}{w.Name, SchemeTwoBit, 1024}]
+	if !reflect.DeepEqual(single.Stats, batched.Stats) {
+		t.Errorf("%s/2-bitBP@1024: batched stats diverged from RunSpec\n got: %+v\nwant: %+v",
+			w.Name, batched.Stats, single.Stats)
+	}
+	// And that RunSpec billed one more drain feeding exactly one lane.
+	if got := r.TraceDrains(); got != 9 {
+		t.Errorf("TraceDrains after RunSpec = %d, want 9", got)
+	}
+	if got := r.SimLanes(); got != 21 {
+		t.Errorf("SimLanes after RunSpec = %d, want 21", got)
+	}
+}
+
+// TestRunSpecsEmpty: a zero-length sweep is a no-op, not an error.
+func TestRunSpecsEmpty(t *testing.T) {
+	results, err := NewRunner().RunSpecs(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results, want 0", len(results))
+	}
+}
+
+// TestRunSpecsUnknownScheme mirrors RunSpec's validation.
+func TestRunSpecsUnknownScheme(t *testing.T) {
+	_, err := NewRunner().RunSpecs(context.Background(), []Spec{{Workload: All()[0], Scheme: Scheme(99)}})
+	if err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}

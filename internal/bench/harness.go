@@ -91,6 +91,11 @@ type Runner struct {
 	profiles map[string]*profileEntry
 	traces   map[traceKey]*traceEntry
 	archRuns atomic.Int64
+	// traceDrains counts timing-side decodes of a packed trace;
+	// simLanes counts the simulations those drains fed. RunSpec
+	// contributes (1, 1) per cell, a batched group (1, numLanes).
+	traceDrains atomic.Int64
+	simLanes    atomic.Int64
 }
 
 type profileEntry struct {
@@ -304,6 +309,8 @@ func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, pred
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("bench: simulating %s: %w", w.Name, err)
 	}
+	r.traceDrains.Add(1)
+	r.simLanes.Add(1)
 	return stats, nil
 }
 

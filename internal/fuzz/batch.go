@@ -1,0 +1,106 @@
+package fuzz
+
+import (
+	"fmt"
+	"reflect"
+
+	"specguard/internal/interp"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
+	"specguard/internal/prog"
+	"specguard/internal/trace"
+)
+
+// CheckBatch is the batch-vs-single agreement oracle: a lockstep
+// pipeline.Batch over one packed-trace drain must produce, for every
+// lane, Stats byte-identical to a standalone single-lane run of the
+// same configuration over a fresh drain of the same trace. The lane
+// count (2–4) and the mix of configurations (two-bit table sizes plus
+// an occasional perfect-prediction lane) derive from the program
+// fingerprint, so every fuzz seed exercises a different deterministic
+// mix. Both paths run with SelfCheck audits on, which also exercises
+// the batched lane-isolation invariants.
+//
+// Stable check names:
+//
+//	batch-run        the batched drain itself failed (invariant trip)
+//	batch-single     a reference single-lane run failed
+//	batch-vs-single  some lane's Stats diverged from its reference
+func (o *Oracle) CheckBatch(p *prog.Program) error {
+	fail := func(check, format string, args ...any) error {
+		return &Failure{Check: check, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	code, err := interp.Predecode(p, nil)
+	if err != nil {
+		return nil // construction errors are the front-end oracle's domain
+	}
+	tr, _, err := trace.Capture(code, o.interpOpts(), nil, nil)
+	if err != nil {
+		return nil // faulting programs are the front-end oracle's domain
+	}
+
+	// Deterministic lane mix from the program fingerprint.
+	h := p.Fingerprint()
+	lanes := 2 + int(h%3)
+	kinds := make([]int, lanes) // 0 → perfect, otherwise a TwoBit size
+	var sizes []int
+	for i := range kinds {
+		sel := (h >> (7 * uint(i))) % 4
+		if sel == 0 && i > 0 {
+			kinds[i] = 0 // perfect lane (never lane 0, so sizes is non-empty)
+		} else {
+			kinds[i] = 128 << (sel % 3) // 128, 256 or 512 entries
+			sizes = append(sizes, kinds[i])
+		}
+	}
+
+	newPreds := func() []predict.Predictor {
+		tb := predict.NewTwoBitLanes(sizes)
+		out := make([]predict.Predictor, lanes)
+		ti := 0
+		for i, k := range kinds {
+			if k == 0 {
+				out[i] = predict.NewPerfect()
+			} else {
+				out[i] = tb[ti]
+				ti++
+			}
+		}
+		return out
+	}
+	config := func(pred predict.Predictor) pipeline.Config {
+		return pipeline.Config{Model: o.Model, Predictor: pred, SelfCheck: true}
+	}
+
+	cfgs := make([]pipeline.Config, lanes)
+	for i, pred := range newPreds() {
+		cfgs[i] = config(pred)
+	}
+	batch, err := pipeline.NewBatch(cfgs)
+	if err != nil {
+		return fail("batch-run", "%v", err)
+	}
+	got, err := batch.Run(tr.NewReader())
+	if err != nil {
+		return fail("batch-run", "lanes=%v: %v", kinds, err)
+	}
+
+	// Reference: each configuration standalone, fresh predictor state,
+	// fresh trace cursor.
+	for i, pred := range newPreds() {
+		single, err := pipeline.New(config(pred))
+		if err != nil {
+			return fail("batch-single", "lane %d: %v", i, err)
+		}
+		want, err := single.Run(tr.NewReader())
+		if err != nil {
+			return fail("batch-single", "lane %d (%v): %v", i, kinds[i], err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			return fail("batch-vs-single", "lane %d of %d (kind %v): batched stats diverge:\nbatched: %+v\nsingle:  %+v",
+				i, lanes, kinds[i], got[i], want)
+		}
+	}
+	return nil
+}

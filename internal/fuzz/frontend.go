@@ -49,6 +49,13 @@ func (o *Oracle) CheckFrontEnd(p *prog.Program) error {
 			refErr = errR
 			break
 		}
+		// Flat is a replay-acceleration hint the tree interpreter never
+		// sets; verify it names the executed instruction, then exclude
+		// it from the identity check.
+		if code.Flat(ev.Flat).Instr != ev.Instr {
+			return fail("frontend-predecode", "step %d: Flat hint %d does not name the executed instruction", i, ev.Flat)
+		}
+		ev.Flat = evR.Flat
 		if evR != ev {
 			return fail("frontend-predecode", "step %d: events differ:\ninterp:  %+v\nmachine: %+v", i, evR, ev)
 		}
@@ -107,6 +114,10 @@ func (o *Oracle) CheckFrontEnd(p *prog.Program) error {
 		if !ok {
 			return fail("frontend-replay", "replay ended after %d events, reference still running", i)
 		}
+		if code.Flat(rev.Flat).Instr != rev.Instr {
+			return fail("frontend-replay", "step %d: Flat hint %d does not name the executed instruction", i, rev.Flat)
+		}
+		rev.Flat = evR.Flat
 		if evR != rev {
 			return fail("frontend-replay", "step %d: events differ:\ninterp: %+v\nreplay: %+v", i, evR, rev)
 		}

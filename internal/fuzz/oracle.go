@@ -278,6 +278,13 @@ func (o *Oracle) Check(p *prog.Program) error {
 		return fail("pipeline-counts", "%s", msg)
 	}
 
+	// 3b. Batched lockstep agreement: N mixed-config lanes over one
+	// shared trace drain must match fresh single-lane runs lane for
+	// lane (see CheckBatch).
+	if err := o.CheckBatch(p); err != nil {
+		return err
+	}
+
 	// 4. Every transform variant must preserve the architectural
 	// outcome, and its own pipeline run must stay self-consistent.
 	for _, v := range o.Variants {

@@ -32,6 +32,12 @@ type Event struct {
 	Index int // instruction position within Block
 	Instr *isa.Instr
 	Addr  uint64 // code address (from Layout)
+	// Flat is the flat-code index of the instruction when the producer
+	// executes predecoded Code (Machine, trace replay); 0 and stale
+	// values are harmless — consumers must verify Code.Flat(Flat).Instr
+	// == Instr before trusting it (the tree-walking interpreter leaves
+	// it meaningless).
+	Flat int32
 
 	// Branch outcome, meaningful when Instr is a conditional branch.
 	Branch     bool

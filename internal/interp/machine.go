@@ -171,6 +171,7 @@ func (m *Machine) Step(ev *Event) error {
 		Index: int(in.Index),
 		Instr: in.Instr,
 		Addr:  in.Addr,
+		Flat:  m.pc,
 	}
 	m.steps++
 

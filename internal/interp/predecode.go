@@ -43,11 +43,41 @@ type FlatInstr struct {
 	// Targets are the resolved Switch destinations.
 	Targets []int32
 
+	// Kind collapses the replay/control dispatch into one byte (see the
+	// Kind* constants), sparing the opcode-range compares per event.
+	Kind uint8
+
+	// Static operand metadata, precomputed so per-event consumers (the
+	// timing simulator's shared decode window) do not re-derive operand
+	// lists per dynamic execution. Uses holds the registers read
+	// (AppendUses order; NUses > len(Uses) means overflow — recompute
+	// from Instr). Def is the destination register when HasDef.
+	// NeedsRename/FPRename mirror the rename-register classification of
+	// the destination.
+	Uses        [3]isa.Reg
+	NUses       uint8
+	Def         isa.Reg
+	HasDef      bool
+	NeedsRename bool
+	FPRename    bool
+
 	// Execution operands, flattened from Instr.
 	rd, rs, rt, pred isa.Reg
 	predNeg          bool
 	imm              int64
 }
+
+// Kind values for FlatInstr.Kind: how control flow treats the
+// instruction at replay.
+const (
+	KindPlain  uint8 = iota // falls through (includes loads/stores; see IsMem)
+	KindCond                // conditional branch (consumes a direction bit)
+	KindJump                // unconditional absolute jump
+	KindCall                // call (pushes the return point)
+	KindRet                 // return (pops it)
+	KindSwitch              // register-indirect multi-way (consumes a target)
+	KindHalt                // terminates execution
+)
 
 // Code is a program predecoded into one flat contiguous instruction
 // array across all functions in declaration order. It is immutable
@@ -170,6 +200,51 @@ func Predecode(p *prog.Program, layout *Layout) (*Code, error) {
 					}
 				}
 			}
+		}
+	}
+
+	// Pass 3: static operand metadata and the replay dispatch kind.
+	for i := range c.ins {
+		fl := &c.ins[i]
+		in := fl.Instr
+		var rb [4]isa.Reg
+		uses := in.AppendUses(rb[:0])
+		if len(uses) <= len(fl.Uses) {
+			copy(fl.Uses[:], uses)
+			fl.NUses = uint8(len(uses))
+		} else {
+			fl.NUses = uint8(len(fl.Uses)) + 1 // overflow sentinel: recompute from Instr
+		}
+		defs := in.AppendDefs(rb[:0])
+		if len(defs) > 0 {
+			fl.Def = defs[0]
+			fl.HasDef = true
+		}
+		for _, d := range defs {
+			if d.IsInt() {
+				fl.NeedsRename = true
+				break
+			}
+			if d.IsFP() {
+				fl.NeedsRename, fl.FPRename = true, true
+				break
+			}
+		}
+		switch {
+		case in.Op.IsCondBranch():
+			fl.Kind = KindCond
+		case in.Op == isa.J:
+			fl.Kind = KindJump
+		case in.Op == isa.Call:
+			fl.Kind = KindCall
+		case in.Op == isa.Ret:
+			fl.Kind = KindRet
+		case in.Op == isa.Switch:
+			fl.Kind = KindSwitch
+		case in.Op == isa.Halt:
+			fl.Kind = KindHalt
+		default:
+			fl.Kind = KindPlain
 		}
 	}
 

@@ -32,32 +32,38 @@ import (
 // every simulation with it enabled; production runs leave it off and
 // pay only one predictable branch per cycle.
 
-// checkInvariants audits the machinery at the end of one cycle.
-// queueUsed, intRenames and fpRenames are Run's cycle-local bookkeeping
-// counters, passed in so the audit can balance them against a recount.
-func (p *Pipeline) checkInvariants(cycle int64, queueUsed *[numQueues]int, intRenames, fpRenames int) error {
+// checkInvariants audits the machinery at the end of one cycle. The
+// cycle-local bookkeeping counters (queue occupancy, rename pools) are
+// read from p.rs so the audit balances them against a recount; in
+// batched mode it additionally audits lane isolation against the
+// shared decode window.
+func (p *Pipeline) checkInvariants(cycle int64) error {
+	queueUsed := &p.rs.queueUsed
+	intRenames, fpRenames := p.rs.intRenames, p.rs.fpRenames
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("pipeline: selfcheck cycle %d: %s", cycle, fmt.Sprintf(format, args...))
 	}
 
-	// --- Reorder buffer scan. ---
+	// --- Reorder buffer scan. The ROB must hold exactly the
+	// contiguous seq range [frontSeq, frontSeq+count), each entry in
+	// its seq&mask slot — the addressing contract every bare-seq
+	// reference (wheel, ready queues, dependence edges) relies on. ---
 	var (
-		prevSeq   int64 = -1
-		first           = true
-		issued    int
+		expectSeq             = p.rob.frontSeq
+		issued                int
 		renamedInt, renamedFP int
-		queued    [numQueues]int
-		scanErr   error
+		queued                [numQueues]int
+		scanErr               error
 	)
 	p.rob.each(func(e *entry) {
 		if scanErr != nil {
 			return
 		}
-		if !first && e.seq <= prevSeq {
-			scanErr = fail("ROB seq not strictly increasing: %d after %d", e.seq, prevSeq)
+		if e.seq != expectSeq {
+			scanErr = fail("ROB slot for seq %d holds seq %d (contiguity broken)", expectSeq, e.seq)
 			return
 		}
-		first, prevSeq = false, e.seq
+		expectSeq++
 		if e.state > stCompleted {
 			scanErr = fail("ROB entry seq=%d has invalid state %d", e.seq, e.state)
 			return
@@ -103,19 +109,25 @@ func (p *Pipeline) checkInvariants(cycle int64, queueUsed *[numQueues]int, intRe
 		return fail("fp rename pool %d + holders %d != %d", fpRenames, renamedFP, m.RenameRegs)
 	}
 
-	// --- Completion wheel conservation. ---
+	// --- Completion wheel conservation. Buckets hold bare seqs; each
+	// must resolve (via the slot fence) to a live issued entry filed
+	// under its completion cycle. ---
 	filed := 0
 	for i, b := range p.wheel.buckets {
-		for _, e := range b {
+		for _, seq := range b {
 			filed++
+			e := p.rob.at(seq)
+			if e.seq != seq {
+				return fail("wheel bucket %d holds seq %d whose slot now belongs to seq %d", i, seq, e.seq)
+			}
 			if e.state != stIssued {
-				return fail("wheel bucket %d holds entry seq=%d in state %d (want issued)", i, e.seq, e.state)
+				return fail("wheel bucket %d holds entry seq=%d in state %d (want issued)", i, seq, e.state)
 			}
 			if e.complete <= cycle {
-				return fail("wheel bucket %d holds entry seq=%d completing at %d (cycle already past)", i, e.seq, e.complete)
+				return fail("wheel bucket %d holds entry seq=%d completing at %d (cycle already past)", i, seq, e.complete)
 			}
 			if int(e.complete%int64(len(p.wheel.buckets))) != i {
-				return fail("entry seq=%d completing at %d filed in bucket %d of %d", e.seq, e.complete, i, len(p.wheel.buckets))
+				return fail("entry seq=%d completing at %d filed in bucket %d of %d", seq, e.complete, i, len(p.wheel.buckets))
 			}
 		}
 	}
@@ -126,19 +138,47 @@ func (p *Pipeline) checkInvariants(cycle int64, queueUsed *[numQueues]int, intRe
 		return fail("wheel holds %d entries but ROB has %d issued", filed, issued)
 	}
 
-	// --- Ready queues. ---
+	// --- Ready queues: both feeders of each unit's readyQ must hold
+	// live dispatched entries with no pending producers, the FIFO lane
+	// must be sorted (dispatch feeds it in order), the heap-order
+	// property must hold, and no non-empty queue may hide behind a
+	// cleared readyMask bit (issue would never visit it). ---
 	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
-		a := p.ready[u].a
-		for i, e := range a {
+		q := &p.ready[u]
+		checkReady := func(seq int64) error {
+			e := p.rob.at(seq)
+			if e.seq != seq {
+				return fail("ready[%v] holds seq %d whose slot now belongs to seq %d", u, seq, e.seq)
+			}
 			if e.state != stDispatched {
-				return fail("ready[%v] holds entry seq=%d in state %d (want dispatched)", u, e.seq, e.state)
+				return fail("ready[%v] holds entry seq=%d in state %d (want dispatched)", u, seq, e.state)
 			}
 			if e.pending != 0 {
-				return fail("ready[%v] holds entry seq=%d with pending=%d", u, e.seq, e.pending)
+				return fail("ready[%v] holds entry seq=%d with pending=%d", u, seq, e.pending)
 			}
-			if i > 0 && a[(i-1)/2].seq > e.seq {
+			return nil
+		}
+		prev := int64(-1)
+		for k := 0; k < q.count; k++ {
+			seq := q.fifo[(q.head+k)&q.mask]
+			if err := checkReady(seq); err != nil {
+				return err
+			}
+			if seq <= prev {
+				return fail("ready[%v] FIFO lane not strictly increasing at position %d", u, k)
+			}
+			prev = seq
+		}
+		for i, seq := range q.heap.a {
+			if err := checkReady(seq); err != nil {
+				return err
+			}
+			if i > 0 && q.heap.a[(i-1)/2] > seq {
 				return fail("ready[%v] heap order violated at index %d", u, i)
 			}
+		}
+		if q.len() > 0 && p.rs.readyMask&(1<<u) == 0 {
+			return fail("ready[%v] holds %d entries but its readyMask bit is clear", u, q.len())
 		}
 	}
 
@@ -147,12 +187,37 @@ func (p *Pipeline) checkInvariants(cycle int64, queueUsed *[numQueues]int, intRe
 		return err
 	}
 
-	// --- Free list. ---
-	for i, e := range p.free {
-		if e.seq != -1 || e.pending != 0 || e.ndeps != 0 || len(e.depsOver) != 0 {
-			return fail("free list entry %d not scrubbed (seq=%d pending=%d ndeps=%d over=%d)",
-				i, e.seq, e.pending, e.ndeps, len(e.depsOver))
+	// --- Batched lockstep lane isolation. ---
+	if p.win != nil {
+		if err := p.checkBatchLane(fail); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// checkBatchLane audits a batch lane's view of the shared decode
+// window: the lane's cursor never outruns the frontier, its fetch
+// buffer holds exactly the consecutive indices behind the cursor, and
+// every in-flight instruction still references a window slot that a
+// refill cannot have overwritten (the slot-validity contract the
+// double-buffered window relies on).
+func (p *Pipeline) checkBatchLane(fail func(string, ...any) error) error {
+	w := p.win
+	if p.cur > w.frontier {
+		return fail("batch lane cursor %d beyond window frontier %d", p.cur, w.frontier)
+	}
+	if n := p.bfbuf.len(); n > 0 {
+		if got, want := p.bfbuf.front(), p.cur-int64(n); got != want {
+			return fail("batch fetch buffer front index %d, want %d (cursor %d − occupancy %d)", got, want, p.cur, n)
+		}
+	}
+	oldest := p.cur - int64(p.bfbuf.len())
+	if p.rob.len() > 0 {
+		oldest = p.rob.front().seq
+	}
+	if valid := w.frontier - int64(len(w.slots)); oldest < valid && w.frontier >= int64(len(w.slots)) {
+		return fail("batch lane references window index %d already overwritten (valid window starts at %d)", oldest, valid)
 	}
 	return nil
 }
@@ -167,13 +232,16 @@ func (p *Pipeline) checkMemTable(fail func(string, ...any) error) error {
 			continue
 		}
 		live++
-		if s.store.e == nil && s.load.e == nil {
+		if s.store == noSeq && s.load == noSeq {
 			return fail("memdis slot %d (addr %#x) live with no owner", i, s.addr)
 		}
-		for _, ref := range []producerRef{s.store, s.load} {
-			if ref.e != nil && ref.e.seq != ref.seq {
-				return fail("memdis slot %d (addr %#x) holds stale ref seq=%d (entry now %d)",
-					i, s.addr, ref.seq, ref.e.seq)
+		for _, seq := range []int64{s.store, s.load} {
+			// A live reference must name an in-flight instruction:
+			// prune removes it at commit, younger accesses overwrite
+			// it, so anything outside the ROB's seq range is stale.
+			if seq != noSeq && (seq < p.rob.frontSeq || seq >= p.rob.frontSeq+int64(p.rob.count)) {
+				return fail("memdis slot %d (addr %#x) holds stale ref seq=%d (ROB range [%d,%d))",
+					i, s.addr, seq, p.rob.frontSeq, p.rob.frontSeq+int64(p.rob.count))
 			}
 		}
 		// Probe-chain reachability: walking from the home slot must hit
@@ -201,7 +269,9 @@ func (p *Pipeline) checkMemTable(fail func(string, ...any) error) error {
 
 // checkDrained audits the post-run state: everything in flight must
 // have been committed and recycled.
-func (p *Pipeline) checkDrained(cycle int64, queueUsed *[numQueues]int, intRenames, fpRenames int) error {
+func (p *Pipeline) checkDrained(cycle int64) error {
+	queueUsed := &p.rs.queueUsed
+	intRenames, fpRenames := p.rs.intRenames, p.rs.fpRenames
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("pipeline: selfcheck post-run: %s", fmt.Sprintf(format, args...))
 	}
@@ -228,5 +298,5 @@ func (p *Pipeline) checkDrained(cycle int64, queueUsed *[numQueues]int, intRenam
 		return fail("rename pools not restored: int=%d fp=%d want %d",
 			intRenames, fpRenames, p.model.RenameRegs)
 	}
-	return p.checkInvariants(cycle, queueUsed, intRenames, fpRenames)
+	return p.checkInvariants(cycle)
 }

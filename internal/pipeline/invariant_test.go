@@ -69,15 +69,22 @@ func newCheckedPipeline(t *testing.T) *Pipeline {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.resetMachinery()
+	p.beginRun() // installs full rename pools and zero queue occupancy in p.rs
 	return p
+}
+
+// plant dispatches a bare entry into the next ROB slot, stamped with
+// the sequence number the contiguity audit expects there.
+func plant(p *Pipeline, state entryState) *entry {
+	e := p.rob.alloc()
+	e.seq = p.rob.frontSeq + int64(p.rob.count) - 1
+	e.state = state
+	return e
 }
 
 // TestSelfCheckDetectsCorruption corrupts each audited structure in
 // turn and verifies the checker names the violation.
 func TestSelfCheckDetectsCorruption(t *testing.T) {
-	model := machine.R10000()
-	full := model.RenameRegs
 	cases := []struct {
 		name    string
 		corrupt func(p *Pipeline)
@@ -86,24 +93,23 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 		{
 			name: "negative producer counter",
 			corrupt: func(p *Pipeline) {
-				p.rob.push(&entry{seq: 1, state: stDispatched, pending: -1})
+				plant(p, stDispatched).pending = -1
 			},
 			want: "negative producer counter",
 		},
 		{
-			name: "seq order",
+			name: "seq contiguity",
 			corrupt: func(p *Pipeline) {
-				p.rob.push(&entry{seq: 9, state: stCompleted})
-				p.rob.push(&entry{seq: 4, state: stCompleted})
+				plant(p, stDispatched).seq = 9 // slot owned by seq 0
 			},
-			want: "not strictly increasing",
+			want: "contiguity broken",
 		},
 		{
 			name: "wheel pending drift",
 			corrupt: func(p *Pipeline) {
-				e := &entry{seq: 1, state: stIssued, complete: 5}
-				p.rob.push(e)
-				p.wheel.schedule(e, 0)
+				e := plant(p, stIssued)
+				e.complete = 5
+				p.wheel.schedule(p.rob, e.seq, 5, 0)
 				p.wheel.pending++ // conservation broken
 			},
 			want: "wheel pending counter",
@@ -111,27 +117,45 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 		{
 			name: "wheel holds unissued entry",
 			corrupt: func(p *Pipeline) {
-				e := &entry{seq: 1, state: stDispatched, complete: 5}
-				p.rob.push(e)
-				p.wheel.schedule(e, 0)
+				e := plant(p, stDispatched)
+				e.complete = 5
+				p.wheel.schedule(p.rob, e.seq, 5, 0)
 			},
 			want: "want issued",
 		},
 		{
+			name: "wheel holds stale seq",
+			corrupt: func(p *Pipeline) {
+				// Filed seq never dispatched: its slot still carries the
+				// scrub marker, so the fence must flag it.
+				p.wheel.schedule(p.rob, 5, 7, 0)
+			},
+			want: "slot now belongs",
+		},
+		{
 			name: "ready entry with pending producers",
 			corrupt: func(p *Pipeline) {
-				e := &entry{seq: 1, state: stDispatched, pending: 2}
-				p.rob.push(e)
-				p.ready[0].push(e)
+				e := plant(p, stDispatched)
+				e.pending = 2
+				p.ready[0].pushWake(e.seq)
+				p.rs.readyMask |= 1
 			},
 			want: "with pending",
 		},
 		{
+			name: "ready queue hidden from issue",
+			corrupt: func(p *Pipeline) {
+				e := plant(p, stDispatched)
+				p.ready[0].pushOrdered(e.seq)
+				// readyMask bit left clear: issue would never drain it.
+			},
+			want: "readyMask bit is clear",
+		},
+		{
 			name: "memdis occupancy drift",
 			corrupt: func(p *Pipeline) {
-				e := &entry{seq: 1, state: stDispatched}
-				p.rob.push(e)
-				p.mem.slot(0x40).store = producerRef{e, 1}
+				e := plant(p, stDispatched)
+				p.mem.slot(0x40).store = e.seq
 				p.mem.used++ // counter drift
 			},
 			want: "occupancy counter",
@@ -139,32 +163,25 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 		{
 			name: "memdis stale reference",
 			corrupt: func(p *Pipeline) {
-				e := &entry{seq: 1, state: stDispatched}
-				p.rob.push(e)
-				stale := &entry{seq: 7} // ref recorded before recycle...
-				p.mem.slot(0x40).store = producerRef{stale, 3}
+				plant(p, stDispatched)
+				// seq 7 lies outside the ROB's [0,1) range: a reference
+				// left behind by a committed instruction.
+				p.mem.slot(0x40).store = 7
 			},
 			want: "stale ref",
 		},
 		{
 			name: "memdis ownerless slot",
 			corrupt: func(p *Pipeline) {
-				p.rob.push(&entry{seq: 1, state: stDispatched})
-				p.mem.slot(0x40) // live slot, both refs nil
+				plant(p, stDispatched)
+				p.mem.slot(0x40) // live slot, both refs noSeq
 			},
 			want: "no owner",
 		},
 		{
-			name: "free list not scrubbed",
-			corrupt: func(p *Pipeline) {
-				p.free = append(p.free, &entry{seq: 12})
-			},
-			want: "not scrubbed",
-		},
-		{
 			name: "rename pool imbalance",
 			corrupt: func(p *Pipeline) {
-				p.rob.push(&entry{seq: 1, state: stDispatched, renamed: true})
+				plant(p, stDispatched).renamed = true
 				// caller-side counter says nothing was taken
 			},
 			want: "rename pool",
@@ -174,8 +191,7 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			p := newCheckedPipeline(t)
 			tc.corrupt(p)
-			var queueUsed [numQueues]int
-			err := p.checkInvariants(0, &queueUsed, full, full)
+			err := p.checkInvariants(0)
 			if err == nil {
 				t.Fatal("corruption not detected")
 			}
@@ -189,16 +205,16 @@ func TestSelfCheckDetectsCorruption(t *testing.T) {
 // TestSelfCheckQueueRecount verifies the occupancy balance check.
 func TestSelfCheckQueueRecount(t *testing.T) {
 	p := newCheckedPipeline(t)
-	e := &entry{seq: 1, state: stDispatched, inQueue: true, queue: QInt}
-	p.rob.push(e)
-	var queueUsed [numQueues]int // claims zero occupancy
-	full := p.model.RenameRegs
-	err := p.checkInvariants(0, &queueUsed, full, full)
+	e := plant(p, stDispatched)
+	e.inQueue = true
+	e.queue = QInt
+	// p.rs.queueUsed claims zero occupancy.
+	err := p.checkInvariants(0)
 	if err == nil || !strings.Contains(err.Error(), "occupancy counter") {
 		t.Fatalf("queue drift not detected: %v", err)
 	}
-	queueUsed[QInt] = 1
-	if err := p.checkInvariants(0, &queueUsed, full, full); err != nil {
+	p.rs.queueUsed[QInt] = 1
+	if err := p.checkInvariants(0); err != nil {
 		t.Fatalf("consistent state rejected: %v", err)
 	}
 }

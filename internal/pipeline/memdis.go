@@ -1,29 +1,21 @@
 package pipeline
 
-// producerRef is a possibly-stale reference to a producing entry.
-// Entries are recycled through a free list at commit, so a raw pointer
-// could outlive its instruction; the sequence number captured when the
-// reference was recorded disambiguates: if ref.e.seq no longer matches,
-// the producer has committed (and its slot was reused), which for
-// dependence purposes means it completed long ago — no edge is needed.
-type producerRef struct {
-	e   *entry
-	seq int64
-}
+// noSeq marks an absent sequence-number reference (register
+// last-writers, disambiguation slots, fetch stalls).
+const noSeq = -1
 
-// active reports whether the reference still names an in-flight,
-// not-yet-completed instruction (the only case that creates a
-// dependence edge).
-func (r producerRef) active() bool {
-	return r.e != nil && r.e.seq == r.seq && r.e.state != stCompleted
-}
-
-// memSlot tracks the youngest in-flight store and load to one address.
+// memSlot tracks the youngest in-flight store and load to one address,
+// by sequence number (noSeq when absent). The references are fenced
+// the same way register producers are: a recorded seq still names an
+// in-flight instruction only while its ROB slot carries the same seq
+// in a not-completed state (Pipeline.producer), so slots overwritten
+// by younger accesses or left behind by committed ones impose no
+// dependence.
 type memSlot struct {
 	addr  int64
 	live  bool
-	store producerRef
-	load  producerRef
+	store int64
+	load  int64
 }
 
 // memTable is the memory-disambiguation table: an open-addressed,
@@ -69,7 +61,7 @@ func (t *memTable) slot(addr int64) *memSlot {
 	for {
 		s := &t.slots[i]
 		if !s.live {
-			*s = memSlot{addr: addr, live: true}
+			*s = memSlot{addr: addr, live: true, store: noSeq, load: noSeq}
 			t.used++
 			return s
 		}
@@ -95,23 +87,23 @@ func (t *memTable) find(addr int64) (uint64, bool) {
 	}
 }
 
-// prune drops e's store/load references when the committing entry e is
-// still the youngest access to its address, deleting the slot once both
-// references are gone. References overwritten by younger accesses fail
-// the seq match and are left alone.
-func (t *memTable) prune(addr int64, e *entry) {
+// prune drops seq's store/load references when the committing
+// instruction is still the youngest access to its address, deleting
+// the slot once both references are gone. References overwritten by
+// younger accesses fail the seq match and are left alone.
+func (t *memTable) prune(addr, seq int64) {
 	i, ok := t.find(addr)
 	if !ok {
 		return
 	}
 	s := &t.slots[i]
-	if s.store.e == e && s.store.seq == e.seq {
-		s.store = producerRef{}
+	if s.store == seq {
+		s.store = noSeq
 	}
-	if s.load.e == e && s.load.seq == e.seq {
-		s.load = producerRef{}
+	if s.load == seq {
+		s.load = noSeq
 	}
-	if s.store.e == nil && s.load.e == nil {
+	if s.store == noSeq && s.load == noSeq {
 		t.deleteAt(i)
 	}
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"specguard/internal/cache"
 	"specguard/internal/interp"
@@ -146,18 +147,33 @@ const (
 	stCompleted
 )
 
-// entry is one reorder-buffer (active list) slot. Entries are recycled
-// through the pipeline's free list at commit, so every field is
-// re-initialized at dispatch; depsOver keeps its capacity across
+// entry is one reorder-buffer (active list) slot, stored by value in
+// the ROB ring at buf[seq&mask] (see ring). Slots are re-initialized
+// in place at dispatch; depsOver keeps its capacity across
 // incarnations.
+//
+// An entry caches only the event fields the back-end stages consume
+// (opcode, fetch address, effective address and the derived flags)
+// instead of the full 100+-byte interp.Event: the batched path shares
+// one decoded event window across all lanes and must not copy events
+// per lane, and the slim entry halves the dispatch traffic on the
+// single-lane path too.
 type entry struct {
-	ev    interp.Event
 	seq   int64
 	queue Queue
 	unit  isa.UnitClass
 	state entryState
 
+	op        isa.Op
+	isCond    bool // op.IsCondBranch(), consulted at complete and commit
+	taken     bool
+	annulled  bool
+	memAccess bool // IsMem && !Annulled
+	addr      uint64
+	memAddr   int64
+
 	complete int64 // valid once issued
+	qEnter   int64 // cycle the entry took its dispatch-queue slot
 
 	inQueue bool // still holding its dispatch-queue slot
 	renamed bool // holds an integer/fp rename register until commit
@@ -165,31 +181,57 @@ type entry struct {
 
 	// pending counts not-yet-completed producers; the entry becomes
 	// ready to issue when it reaches zero. deps is the reverse edge:
-	// consumers to wake when this entry completes, inline for the
-	// common case with a rarely-touched spill slice.
+	// consumers to wake when this entry completes, stored as seq
+	// deltas (a dependent is younger than its producer by less than
+	// the active-list depth, so a uint16 always fits on real models;
+	// anything wider spills to the absolute-seq overflow slice).
 	pending  int32
-	ndeps    int32
-	deps     [4]*entry
-	depsOver []*entry
+	ndeps    uint8
+	deps     [6]uint16
+	depsOver []int64
 }
 
-// addDep registers c to be woken when e completes.
-func (e *entry) addDep(c *entry) {
-	if int(e.ndeps) < len(e.deps) {
-		e.deps[e.ndeps] = c
-		e.ndeps++
-		return
-	}
-	e.depsOver = append(e.depsOver, c)
-}
-
-// fetchItem is a decoded instruction waiting to dispatch.
+// fetchItem is a decoded instruction waiting to dispatch (single-lane
+// path; the batched path queues window indices instead).
 type fetchItem struct {
 	ev  interp.Event
 	seq int64
 
 	mispredicted bool // fetched with a wrong direction prediction
 	indirect     bool // stalled fetch until resolution (non-BTB class)
+}
+
+// runState is the per-run cycle-local bookkeeping, hoisted from Run's
+// stack onto the Pipeline so the cycle stages can be shared between the
+// single-lane Run loop and the batched lockstep loop (which parks a
+// lane mid-fetch whenever it reaches the decode-window frontier and
+// resumes it exactly there on a later call).
+type runState struct {
+	queueCap   [numQueues]int
+	unitCap    [isa.NumUnitClasses]int
+	queueUsed  [numQueues]int
+	intRenames int
+	fpRenames  int
+
+	seq            int64
+	traceDone      bool
+	fetchStalledOn int64 // seq of the branch fetch waits on, -1 when none
+	fetchResumeAt  int64 // cycle fetch may resume (icache/mispredict)
+	lastCommit     int64
+	cycle          int64
+
+	fetched int  // instructions fetched so far this cycle (batch resume point)
+	inFetch bool // lane is parked mid-fetch waiting for the window to refill
+
+	// readyMask has bit u set when ready[u] may be non-empty, so the
+	// issue stage visits only live unit classes instead of scanning all
+	// of them every cycle. Bits are set on push and cleared by issue
+	// when it drains a queue; a stale set bit is harmless (issue
+	// re-checks emptiness), a stale clear bit would lose instructions
+	// and is audited by the self-check.
+	readyMask uint32
+
+	done <-chan struct{} // Config.Context cancellation, nil when unset
 }
 
 // Pipeline is one configured simulator instance. The hot-loop
@@ -201,20 +243,27 @@ type Pipeline struct {
 	cfg    Config
 	model  *machine.Model
 	pred   predict.Predictor
+	predTB *predict.TwoBit // set when pred is a *TwoBit: devirtualized hot path
 	icache *cache.Cache
 	dcache *cache.Cache
 
 	stats Stats
+	rs    runState
 
 	rob        *ring
 	fbuf       fetchRing
 	wheel      wheel
-	ready      [isa.NumUnitClasses]seqHeap
-	free       []*entry
+	ready      [isa.NumUnitClasses]readyQ
 	mem        memTable
-	lastWriter [128]producerRef
+	lastWriter [128]int64 // seq of each register's youngest in-flight writer, noSeq when none
 	regBuf     []isa.Reg
-	evBuf      interp.Event // fetch scratch, reused via the EventSource fast path
+	latTab     [256]int16 // raw m.Latency per opcode; clamped at issue after miss penalties
+
+	// Batched lockstep state (nil/zero on the single-lane path).
+	win      *window
+	cur      int64 // next window index this lane will fetch
+	icShared bool  // consume window.ic bits instead of the private icache
+	bfbuf    idxRing
 }
 
 // New validates cfg and returns a simulator.
@@ -232,11 +281,15 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg.Watchdog = 100000
 	}
 	p := &Pipeline{cfg: cfg, model: cfg.Model, pred: cfg.Predictor}
+	p.predTB, _ = cfg.Predictor.(*predict.TwoBit)
 	if !cfg.DisableICache {
 		p.icache = cache.New(cfg.Model.ICacheBytes, cfg.Model.CacheLineBytes)
 	}
 	if !cfg.DisableDCache {
 		p.dcache = cache.New(cfg.Model.DCacheBytes, cfg.Model.CacheLineBytes)
+	}
+	for op := 0; op < len(p.latTab); op++ {
+		p.latTab[op] = int16(cfg.Model.Latency(isa.Op(op)))
 	}
 	return p, nil
 }
@@ -254,10 +307,38 @@ func maxLatency(m *machine.Model) int {
 	return lat + m.CacheMissPenalty
 }
 
+// beginRun resets the machinery, statistics and cycle-local bookkeeping
+// for a fresh simulation.
+func (p *Pipeline) beginRun() {
+	m := p.model
+	p.rs = runState{
+		intRenames:     m.RenameRegs,
+		fpRenames:      m.RenameRegs,
+		fetchStalledOn: -1,
+	}
+	p.rs.queueCap = [numQueues]int{
+		QInt:    m.IntQueue,
+		QAddr:   m.AddrQueue,
+		QFP:     m.FPQueue,
+		QBranch: m.BranchStack,
+	}
+	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+		p.rs.unitCap[u] = m.UnitCount(u)
+	}
+	if p.cfg.Context != nil {
+		p.rs.done = p.cfg.Context.Done()
+	}
+	p.win = nil
+	p.cur = 0
+	p.icShared = false
+	p.resetMachinery()
+	p.stats = Stats{}
+}
+
 // resetMachinery prepares the reusable hot-loop state for a run.
 func (p *Pipeline) resetMachinery() {
 	m := p.model
-	if p.rob == nil || len(p.rob.buf) != m.ActiveList {
+	if p.rob == nil || p.rob.cap != m.ActiveList {
 		p.rob = newRing(m.ActiveList)
 	} else {
 		p.rob.reset()
@@ -265,50 +346,52 @@ func (p *Pipeline) resetMachinery() {
 	p.fbuf.init(p.cfg.FetchBufferSize)
 	p.wheel.init(maxLatency(m))
 	for u := range p.ready {
-		p.ready[u].reset()
+		p.ready[u].init(m.ActiveList)
 	}
 	p.mem.init(m.ActiveList)
-	p.lastWriter = [128]producerRef{}
+	for i := range p.lastWriter {
+		p.lastWriter[i] = noSeq
+	}
 	if p.regBuf == nil {
 		p.regBuf = make([]isa.Reg, 0, 4)
 	}
 }
 
-// newEntry takes an entry from the free list (or allocates one) and
-// resets it for dispatch.
-func (p *Pipeline) newEntry() *entry {
-	if n := len(p.free); n > 0 {
-		e := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		return e
+// producer resolves a possibly-stale recorded sequence number to its
+// in-flight, not-yet-completed entry, or ok=false. The ROB slot for a
+// seq keeps that seq (in the completed state) after commit until a
+// younger instruction is dispatched into it, so the seq/state pair is
+// a complete staleness fence: a mismatching seq means the slot was
+// re-dispatched, a completed state means the producer imposes no wait
+// — exactly what the old per-issue rescan concluded for it every
+// cycle.
+func (p *Pipeline) producer(seq int64) (*entry, bool) {
+	if seq < 0 {
+		return nil, false
 	}
-	return &entry{}
+	e := p.rob.at(seq)
+	if e.seq != seq || e.state == stCompleted {
+		return nil, false
+	}
+	return e, true
 }
 
-// recycle returns a committed entry to the free list. Its dependents
-// were drained at completion; stale producerRefs elsewhere are fenced
-// by the seq check, which fails once the entry is re-dispatched under a
-// new sequence number.
-func (p *Pipeline) recycle(e *entry) {
-	e.ev = interp.Event{}
-	e.seq = -1
-	e.pending = 0
-	e.ndeps = 0
-	e.depsOver = e.depsOver[:0]
-	p.free = append(p.free, e)
-}
-
-// depend adds a producer edge from ref to consumer c when ref still
-// names an in-flight, uncompleted instruction. Completed or committed
-// producers impose no wait, exactly as the old per-issue rescan
-// concluded for them every cycle.
-func depend(c *entry, ref producerRef) {
-	if !ref.active() {
+// depend adds a producer edge from prodSeq to consumer c when prodSeq
+// still names an in-flight, uncompleted instruction. The edge is
+// recorded on the producer as a seq delta (or in its overflow list),
+// so completion wakes dependents without storing pointers anywhere.
+func (p *Pipeline) depend(c *entry, prodSeq int64) {
+	prod, ok := p.producer(prodSeq)
+	if !ok {
 		return
 	}
 	c.pending++
-	ref.e.addDep(c)
+	if d := c.seq - prodSeq; int(prod.ndeps) < len(prod.deps) && d <= 0xFFFF {
+		prod.deps[prod.ndeps] = uint16(d)
+		prod.ndeps++
+	} else {
+		prod.depsOver = append(prod.depsOver, c.seq)
+	}
 }
 
 // Run simulates the entire stream from src and returns the statistics.
@@ -319,323 +402,412 @@ func depend(c *entry, ref producerRef) {
 // orderings reproduce the original oldest-first scans exactly, so Stats
 // are bit-identical to the scanning implementation (pinned by the
 // golden-stats test in internal/bench).
+//
+// The cycle stages (complete, commit, issue, end-of-cycle accounting)
+// are methods shared verbatim with the batched lockstep loop in
+// batch.go, so the two paths cannot drift apart stage by stage; only
+// dispatch and fetch differ (the batch path reads pre-decoded events
+// and pre-computed dependence edges from the shared window instead of
+// decoding per lane).
 func (p *Pipeline) Run(src Source) (Stats, error) {
 	m := p.model
-	queueCap := [numQueues]int{
-		QInt:    m.IntQueue,
-		QAddr:   m.AddrQueue,
-		QFP:     m.FPQueue,
-		QBranch: m.BranchStack,
-	}
-	var unitCap [isa.NumUnitClasses]int
-	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
-		unitCap[u] = m.UnitCount(u)
-	}
-	p.resetMachinery()
-
-	var (
-		queueUsed  [numQueues]int
-		intRenames = m.RenameRegs
-		fpRenames  = m.RenameRegs
-
-		seq            int64
-		traceDone      bool
-		fetchStalledOn int64 = -1 // seq of the branch fetch waits on
-		fetchResumeAt  int64     // cycle fetch may resume (icache/mispredict)
-		lastCommit     int64
-	)
-	fast, _ := src.(EventSource)
-	evBuf := &p.evBuf
-
-	var done <-chan struct{}
-	if p.cfg.Context != nil {
-		done = p.cfg.Context.Done()
-	}
-
+	p.beginRun()
+	rs := &p.rs
 	s := &p.stats
-	*s = Stats{}
+	fast, _ := src.(EventSource)
 
-	cycle := int64(0)
 	for {
 		// ---- Cooperative cancellation (see Config.Context). ----
-		if done != nil && cycle&cancelCheckMask == 0 {
+		if rs.done != nil && rs.cycle&cancelCheckMask == 0 {
 			select {
-			case <-done:
-				return *s, fmt.Errorf("pipeline: run cancelled at cycle %d: %w", cycle, p.cfg.Context.Err())
+			case <-rs.done:
+				return *s, fmt.Errorf("pipeline: run cancelled at cycle %d: %w", rs.cycle, p.cfg.Context.Err())
 			default:
 			}
 		}
 
-		// ---- Complete: finish execution, resolve branches. ----
-		// Drain this cycle's wheel bucket in program order and wake
-		// dependents whose last producer just finished.
-		for _, e := range p.wheel.take(cycle) {
-			e.state = stCompleted
-			if e.inQueue && e.queue == QBranch {
-				// Branch-stack entries are held until resolution.
-				queueUsed[QBranch]--
-				e.inQueue = false
-			}
-			op := e.ev.Instr.Op
-			if op.IsCondBranch() {
-				p.pred.Update(e.ev.Addr, op, e.ev.Taken)
-			}
-			if fetchStalledOn == e.seq {
-				fetchStalledOn = -1
-				resume := cycle + 1
-				// Only a mispredicted conditional branch pays the
-				// recovery penalty; an indirect transfer merely
-				// restarts fetch (correctly predicted branches never
-				// set the stall in the first place).
-				if op.IsCondBranch() {
-					resume += int64(m.MispredictPenalty)
-				}
-				if resume > fetchResumeAt {
-					fetchResumeAt = resume
-				}
-			}
-			for i := int32(0); i < e.ndeps; i++ {
-				c := e.deps[i]
-				e.deps[i] = nil
-				if c.pending--; c.pending == 0 {
-					p.ready[c.unit].push(c)
-				}
-			}
-			for i, c := range e.depsOver {
-				e.depsOver[i] = nil
-				if c.pending--; c.pending == 0 {
-					p.ready[c.unit].push(c)
-				}
-			}
-			e.ndeps = 0
-			e.depsOver = e.depsOver[:0]
-		}
-
-		// ---- Commit: in-order, up to IssueWidth per cycle. ----
-		committed := 0
-		for p.rob.len() > 0 && committed < m.IssueWidth {
-			e := p.rob.front()
-			if e.state != stCompleted {
-				break
-			}
-			p.rob.popFront()
-			committed++
-			s.Committed++
-			lastCommit = cycle
-			if e.ev.Annulled {
-				s.Annulled++
-			}
-			if e.ev.Instr.Op.IsCondBranch() {
-				s.CondBranches++
-			}
-			if e.renamed {
-				if e.fpDest {
-					fpRenames++
-				} else {
-					intRenames++
-				}
-			}
-			if e.ev.IsMem && !e.ev.Annulled {
-				p.mem.prune(e.ev.MemAddr, e)
-			}
-			p.recycle(e)
-		}
-
-		// ---- Issue: oldest-first, out of order, per-unit capacity. ----
-		var unitIssued [isa.NumUnitClasses]int
-		for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
-			rq := &p.ready[u]
-			for unitIssued[u] < unitCap[u] && rq.len() > 0 {
-				e := rq.pop()
-				lat := m.Latency(e.ev.Instr.Op)
-				if e.ev.IsMem && !e.ev.Annulled && p.dcache != nil {
-					if !p.dcache.Access(uint64(e.ev.MemAddr)) {
-						lat += m.CacheMissPenalty
-						s.DCacheMisses++
-					}
-				}
-				if lat < 1 {
-					lat = 1 // results are visible to dependents next cycle at the earliest
-				}
-				e.state = stIssued
-				e.complete = cycle + int64(lat)
-				p.wheel.schedule(e, cycle)
-				unitIssued[u]++
-				s.UnitBusy[u]++
-				if e.inQueue && e.queue != QBranch {
-					queueUsed[e.queue]--
-					e.inQueue = false
-				}
-			}
-			if unitCap[u] > 0 && unitIssued[u] == unitCap[u] {
-				s.UnitFull[u]++
-			}
-		}
-
-		// ---- Dispatch: in-order from the fetch buffer. ----
-		dispatched := 0
-		for p.fbuf.len() > 0 && dispatched < m.IssueWidth {
-			item := p.fbuf.front()
-			if p.rob.full() {
-				break
-			}
-			u := item.ev.Instr.Op.Unit()
-			q := queueOf(u)
-			if queueUsed[q] >= queueCap[q] {
-				break
-			}
-			needsRename, fp := destRename(item.ev.Instr)
-			if needsRename {
-				if fp && fpRenames == 0 || !fp && intRenames == 0 {
-					break
-				}
-			}
-			e := p.newEntry()
-			e.ev = item.ev
-			e.seq = item.seq
-			e.queue = q
-			e.unit = u
-			e.state = stDispatched
-			e.inQueue = true
-			e.renamed = needsRename
-			e.fpDest = fp
-			// Record register producers. A producer appearing twice
-			// (both operands from one register) is counted twice and
-			// wakes twice — the net pending count is still correct.
-			p.regBuf = e.ev.Instr.AppendUses(p.regBuf[:0])
-			for _, r := range p.regBuf {
-				depend(e, p.lastWriter[r])
-			}
-			// Memory ordering: exact disambiguation via trace addresses.
-			if e.ev.IsMem && !e.ev.Annulled {
-				slot := p.mem.slot(e.ev.MemAddr)
-				depend(e, slot.store)
-				if e.ev.Instr.Op.IsLoad() {
-					slot.load = producerRef{e, e.seq}
-				} else {
-					depend(e, slot.load)
-					slot.store = producerRef{e, e.seq}
-				}
-			}
-			// An annulled instruction's destination write is squashed,
-			// so it must not become a producer.
-			if !e.ev.Annulled {
-				p.regBuf = e.ev.Instr.AppendDefs(p.regBuf[:0])
-				for _, r := range p.regBuf {
-					p.lastWriter[r] = producerRef{e, e.seq}
-				}
-			}
-			if needsRename {
-				if fp {
-					fpRenames--
-				} else {
-					intRenames--
-				}
-			}
-			queueUsed[q]++
-			p.rob.push(e)
-			p.fbuf.popFront()
-			dispatched++
-			if e.pending == 0 {
-				p.ready[u].push(e)
-			}
-		}
+		p.stageComplete()
+		p.stageCommit()
+		p.stageIssue()
+		p.stageDispatch()
 
 		// ---- Fetch: up to IssueWidth, stopping at predicted-taken
 		// branches, stalls and I-cache misses. ----
-		if !traceDone && fetchStalledOn < 0 && cycle >= fetchResumeAt {
+		if !rs.traceDone && rs.fetchStalledOn < 0 && rs.cycle >= rs.fetchResumeAt {
 			for fetched := 0; fetched < m.IssueWidth && p.fbuf.len() < p.cfg.FetchBufferSize; fetched++ {
+				// Decode straight into the ring slot; unpush if the
+				// trace turns out to be exhausted.
+				it := p.fbuf.pushSlot()
 				var ok bool
 				var err error
 				if fast != nil {
-					ok, err = fast.NextInto(evBuf)
+					ok, err = fast.NextInto(&it.ev)
 				} else {
-					*evBuf, ok, err = src.Next()
+					it.ev, ok, err = src.Next()
 				}
 				if err != nil {
 					return *s, err
 				}
 				if !ok {
-					traceDone = true
+					p.fbuf.unpush()
+					rs.traceDone = true
 					break
 				}
-				if p.icache != nil && !p.icache.Access(evBuf.Addr) {
+				if p.icache != nil && !p.icache.Access(it.ev.Addr) {
 					s.ICacheMisses++
-					fetchResumeAt = cycle + int64(m.CacheMissPenalty)
+					rs.fetchResumeAt = rs.cycle + int64(m.CacheMissPenalty)
 					// The missing instruction still enters the buffer
 					// (its line is now resident); fetch pauses after it.
-					p.fbuf.push(p.decodeFetch(evBuf, &seq, &fetchStalledOn))
+					p.decodeFetch(it)
 					break
 				}
-				item := p.decodeFetch(evBuf, &seq, &fetchStalledOn)
-				p.fbuf.push(item)
-				if fetchStalledOn >= 0 {
+				p.decodeFetch(it)
+				if rs.fetchStalledOn >= 0 {
 					break // fetch waits for this control transfer
 				}
-				if item.ev.Branch && item.ev.Taken {
+				if it.ev.Branch && it.ev.Taken {
 					break // taken-branch fetch break (redirect next cycle)
 				}
-				if item.ev.Instr.Op == isa.J {
+				if it.ev.Instr.Op == isa.J {
 					break
 				}
 			}
-		} else if !traceDone && (fetchStalledOn >= 0 || cycle < fetchResumeAt) {
+		} else if !rs.traceDone && (rs.fetchStalledOn >= 0 || rs.cycle < rs.fetchResumeAt) {
 			s.FetchStallCycles++
 		}
 
-		// ---- End-of-cycle statistics. ----
-		for q := Queue(0); q < numQueues; q++ {
-			s.QueueOccupancy[q] += int64(queueUsed[q])
-			if queueUsed[q] >= queueCap[q] {
-				s.QueueFullCycles[q]++
-			}
+		done, err := p.stageEndOfCycle(p.fbuf.len())
+		if err != nil {
+			return *s, err
 		}
-
-		if p.cfg.SelfCheck {
-			if err := p.checkInvariants(cycle, &queueUsed, intRenames, fpRenames); err != nil {
-				return *s, err
-			}
-		}
-
-		cycle++
-		if traceDone && p.rob.len() == 0 && p.fbuf.len() == 0 {
-			if p.cfg.SelfCheck {
-				if err := p.checkDrained(cycle, &queueUsed, intRenames, fpRenames); err != nil {
-					return *s, err
-				}
-			}
+		if done {
 			break
-		}
-		if cycle-lastCommit > p.cfg.Watchdog {
-			return *s, fmt.Errorf("pipeline: no commit for %d cycles (simulator deadlock at cycle %d, rob=%d fetchBuf=%d)",
-				p.cfg.Watchdog, cycle, p.rob.len(), p.fbuf.len())
 		}
 	}
 
-	s.Cycles = cycle
+	s.Cycles = rs.cycle
 	s.Predictor = p.pred.Stats()
 	return *s, nil
 }
 
-// decodeFetch classifies a fetched event against the predictor and
-// assigns its sequence number. It sets *stalledOn when fetch must wait
-// for this instruction to resolve.
-func (p *Pipeline) decodeFetch(ev *interp.Event, seq *int64, stalledOn *int64) fetchItem {
-	item := fetchItem{ev: *ev, seq: *seq}
-	*seq++
-	op := ev.Instr.Op
-	cls := predict.Classify(op)
-	if cls == predict.ClassNone {
-		return item
+// stageComplete finishes execution and resolves branches: it drains
+// this cycle's wheel bucket in program order and wakes dependents whose
+// last producer just finished.
+func (p *Pipeline) stageComplete() {
+	rs := &p.rs
+	for _, seq := range p.wheel.take(rs.cycle) {
+		e := p.rob.at(seq)
+		e.state = stCompleted
+		if e.inQueue && e.queue == QBranch {
+			// Branch-stack entries are held until resolution. The
+			// occupancy integral is settled on release (see
+			// stageEndOfCycle): the slot was counted each cycle from
+			// dispatch up to (not including) this one.
+			rs.queueUsed[QBranch]--
+			e.inQueue = false
+			p.stats.QueueOccupancy[QBranch] += rs.cycle - e.qEnter
+		}
+		if e.isCond {
+			// Devirtualized for the common TwoBit predictor; the opcode's
+			// cached class spares re-deriving it per resolution.
+			if tb := p.predTB; tb != nil {
+				tb.UpdateClass(opMetaTab[e.op].ctl, e.addr, e.taken)
+			} else {
+				p.pred.Update(e.addr, e.op, e.taken)
+			}
+		}
+		if rs.fetchStalledOn == seq {
+			rs.fetchStalledOn = noSeq
+			resume := rs.cycle + 1
+			// Only a mispredicted conditional branch pays the
+			// recovery penalty; an indirect transfer merely
+			// restarts fetch (correctly predicted branches never
+			// set the stall in the first place).
+			if e.isCond {
+				resume += int64(p.model.MispredictPenalty)
+			}
+			if resume > rs.fetchResumeAt {
+				rs.fetchResumeAt = resume
+			}
+		}
+		// Wake dependents. They are strictly younger, hence still in
+		// the ROB, so the delta-encoded seqs resolve in one indexed
+		// load each.
+		for i := 0; i < int(e.ndeps); i++ {
+			c := p.rob.at(seq + int64(e.deps[i]))
+			if c.pending--; c.pending == 0 {
+				p.ready[c.unit].pushWake(c.seq)
+				rs.readyMask |= 1 << c.unit
+			}
+		}
+		e.ndeps = 0
+		if len(e.depsOver) > 0 {
+			for _, cs := range e.depsOver {
+				c := p.rob.at(cs)
+				if c.pending--; c.pending == 0 {
+					p.ready[c.unit].pushWake(cs)
+					rs.readyMask |= 1 << c.unit
+				}
+			}
+			e.depsOver = e.depsOver[:0]
+		}
 	}
-	out := p.pred.Predict(ev.Addr, op, ev.Taken)
+}
+
+// stageCommit retires completed instructions in order, up to IssueWidth
+// per cycle.
+func (p *Pipeline) stageCommit() {
+	rs := &p.rs
+	s := &p.stats
+	committed := 0
+	for p.rob.len() > 0 && committed < p.model.IssueWidth {
+		e := p.rob.front()
+		if e.state != stCompleted {
+			break
+		}
+		// The slot keeps e's remains (seq, completed state) until a
+		// younger instruction is dispatched into it — that is the
+		// staleness fence every recorded seq reference relies on.
+		p.rob.popFront()
+		committed++
+		s.Committed++
+		rs.lastCommit = rs.cycle
+		if e.annulled {
+			s.Annulled++
+		}
+		if e.isCond {
+			s.CondBranches++
+		}
+		if e.renamed {
+			if e.fpDest {
+				rs.fpRenames++
+			} else {
+				rs.intRenames++
+			}
+		}
+		if e.memAccess && p.mem.used != 0 {
+			// The used check short-circuits batched lanes: their
+			// disambiguation lives in the shared window pre-pass, so the
+			// private table stays empty for the whole run.
+			p.mem.prune(e.memAddr, e.seq)
+		}
+	}
+}
+
+// stageIssue starts execution oldest-first, out of order, bounded by
+// per-unit capacity.
+func (p *Pipeline) stageIssue() {
+	rs := &p.rs
+	s := &p.stats
+	// Ascending bit order = ascending unit-class order, so the visit
+	// sequence matches the plain scan exactly (empty classes issue
+	// nothing either way and can never hit a positive cap).
+	for rem := rs.readyMask; rem != 0; rem &= rem - 1 {
+		u := isa.UnitClass(bits.TrailingZeros32(rem))
+		rq := &p.ready[u]
+		if rq.len() == 0 {
+			rs.readyMask &^= 1 << u
+			continue
+		}
+		issued := 0
+		for issued < rs.unitCap[u] && rq.len() > 0 {
+			e := p.rob.at(rq.pop())
+			lat := int(p.latTab[e.op])
+			if e.memAccess && p.dcache != nil {
+				if !p.dcache.Access(uint64(e.memAddr)) {
+					lat += p.model.CacheMissPenalty
+					s.DCacheMisses++
+				}
+			}
+			if lat < 1 {
+				lat = 1 // results are visible to dependents next cycle at the earliest
+			}
+			e.state = stIssued
+			e.complete = rs.cycle + int64(lat)
+			// wheel.schedule, hand-inlined for the hot path (the delta is
+			// exactly lat); the cold grow case falls back to the method.
+			if wb := p.wheel.buckets; lat < len(wb) {
+				bi := int(e.complete & int64(len(wb)-1))
+				wb[bi] = append(wb[bi], e.seq)
+				p.wheel.pending++
+			} else {
+				p.wheel.schedule(p.rob, e.seq, e.complete, rs.cycle)
+			}
+			issued++
+			s.UnitBusy[u]++
+			if e.inQueue && e.queue != QBranch {
+				rs.queueUsed[e.queue]--
+				e.inQueue = false
+				s.QueueOccupancy[e.queue] += rs.cycle - e.qEnter
+			}
+		}
+		if rq.len() == 0 {
+			rs.readyMask &^= 1 << u
+		}
+		if rs.unitCap[u] > 0 && issued == rs.unitCap[u] {
+			s.UnitFull[u]++
+		}
+	}
+}
+
+// stageDispatch moves decoded instructions from the fetch buffer into
+// the ROB and dispatch queues, in order (single-lane path; the batched
+// equivalent is batchDispatch).
+func (p *Pipeline) stageDispatch() {
+	rs := &p.rs
+	dispatched := 0
+	for p.fbuf.len() > 0 && dispatched < p.model.IssueWidth {
+		item := p.fbuf.front()
+		if p.rob.full() {
+			break
+		}
+		op := item.ev.Instr.Op
+		u := op.Unit()
+		q := queueOf(u)
+		if rs.queueUsed[q] >= rs.queueCap[q] {
+			break
+		}
+		needsRename, fp := destRename(item.ev.Instr)
+		if needsRename {
+			if fp && rs.fpRenames == 0 || !fp && rs.intRenames == 0 {
+				break
+			}
+		}
+		e := p.rob.alloc()
+		e.seq = item.seq
+		e.queue = q
+		e.unit = u
+		e.state = stDispatched
+		e.inQueue = true
+		e.renamed = needsRename
+		e.fpDest = fp
+		e.op = op
+		e.isCond = op.IsCondBranch()
+		e.taken = item.ev.Taken
+		e.annulled = item.ev.Annulled
+		e.memAccess = item.ev.IsMem && !item.ev.Annulled
+		e.addr = item.ev.Addr
+		e.memAddr = item.ev.MemAddr
+		e.qEnter = rs.cycle
+		e.pending = 0
+		e.ndeps = 0
+		if len(e.depsOver) > 0 { // avoid the slice-header store (and its write barrier) on the hot path
+			e.depsOver = e.depsOver[:0]
+		}
+		// Record register producers. A producer appearing twice
+		// (both operands from one register) is counted twice and
+		// wakes twice — the net pending count is still correct.
+		p.regBuf = item.ev.Instr.AppendUses(p.regBuf[:0])
+		for _, r := range p.regBuf {
+			p.depend(e, p.lastWriter[r])
+		}
+		// Memory ordering: exact disambiguation via trace addresses.
+		if e.memAccess {
+			slot := p.mem.slot(e.memAddr)
+			p.depend(e, slot.store)
+			if op.IsLoad() {
+				slot.load = e.seq
+			} else {
+				p.depend(e, slot.load)
+				slot.store = e.seq
+			}
+		}
+		// An annulled instruction's destination write is squashed,
+		// so it must not become a producer.
+		if !e.annulled {
+			p.regBuf = item.ev.Instr.AppendDefs(p.regBuf[:0])
+			for _, r := range p.regBuf {
+				p.lastWriter[r] = e.seq
+			}
+		}
+		if needsRename {
+			if fp {
+				rs.fpRenames--
+			} else {
+				rs.intRenames--
+			}
+		}
+		rs.queueUsed[q]++
+		p.fbuf.popFront()
+		dispatched++
+		if e.pending == 0 {
+			p.ready[u].pushOrdered(e.seq)
+			rs.readyMask |= 1 << u
+		}
+	}
+}
+
+// stageEndOfCycle accumulates queue statistics, runs the optional
+// self-check, advances the cycle counter and decides termination. It
+// returns done=true when the simulation has drained.
+func (p *Pipeline) stageEndOfCycle(fbufLen int) (bool, error) {
+	rs := &p.rs
+	s := &p.stats
+	// QueueOccupancy is settled per entry on queue-slot release (issue
+	// for execution queues, complete for QBranch): an entry dispatched
+	// in cycle c and released in cycle c' was counted by the old
+	// per-cycle sum in exactly cycles c..c'-1, i.e. c'-c — the value
+	// the release sites add. Every slot is released before the drain
+	// check passes (checkDrained asserts queueUsed is zero), so the
+	// totals are identical and this loop keeps only the full-queue
+	// compare.
+	for q := Queue(0); q < numQueues; q++ {
+		if rs.queueUsed[q] >= rs.queueCap[q] {
+			s.QueueFullCycles[q]++
+		}
+	}
+
+	if p.cfg.SelfCheck {
+		if err := p.checkInvariants(rs.cycle); err != nil {
+			return false, err
+		}
+	}
+
+	rs.cycle++
+	if rs.traceDone && p.rob.len() == 0 && fbufLen == 0 {
+		if p.cfg.SelfCheck {
+			if err := p.checkDrained(rs.cycle); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	if rs.cycle-rs.lastCommit > p.cfg.Watchdog {
+		return false, fmt.Errorf("pipeline: no commit for %d cycles (simulator deadlock at cycle %d, rob=%d fetchBuf=%d)",
+			p.cfg.Watchdog, rs.cycle, p.rob.len(), fbufLen)
+	}
+	return false, nil
+}
+
+// decodeFetch classifies a fetched event against the predictor and
+// assigns its sequence number, in place in the fetch-ring slot. It sets
+// rs.fetchStalledOn when fetch must wait for this instruction to
+// resolve.
+func (p *Pipeline) decodeFetch(it *fetchItem) {
+	rs := &p.rs
+	it.seq = rs.seq
+	rs.seq++
+	it.mispredicted = false
+	it.indirect = false
+	ev := &it.ev
+	op := ev.Instr.Op
+	cls := opMetaTab[op].ctl // == predict.Classify(op), one indexed load
+	if cls == predict.ClassNone {
+		return
+	}
+	var out predict.Outcome
+	if tb := p.predTB; tb != nil {
+		out = tb.PredictClass(cls, ev.Addr, ev.Taken)
+	} else {
+		out = p.pred.Predict(ev.Addr, op, ev.Taken)
+	}
 	switch {
 	case out.Stall:
-		item.indirect = true
+		it.indirect = true
 		p.stats.IndirectOps++
-		*stalledOn = item.seq
+		rs.fetchStalledOn = it.seq
 	case op.IsCondBranch() && out.PredictTaken != ev.Taken:
-		item.mispredicted = true
+		it.mispredicted = true
 		p.stats.Mispredicts++
 		if p.cfg.TrackBranchSites && ev.BranchSite != "" {
 			if p.stats.SiteMispredicts == nil {
@@ -643,9 +815,8 @@ func (p *Pipeline) decodeFetch(ev *interp.Event, seq *int64, stalledOn *int64) f
 			}
 			p.stats.SiteMispredicts[ev.BranchSite]++
 		}
-		*stalledOn = item.seq
+		rs.fetchStalledOn = it.seq
 	}
-	return item
 }
 
 // destRename reports whether the instruction's destination consumes a

@@ -421,50 +421,61 @@ func TestStatsStringSmoke(t *testing.T) {
 
 func TestRingBuffer(t *testing.T) {
 	r := newRing(3)
-	if r.len() != 0 || r.front() != nil {
+	if r.len() != 0 {
 		t.Fatal("empty ring wrong")
 	}
-	e1, e2, e3 := &entry{seq: 1}, &entry{seq: 2}, &entry{seq: 3}
-	r.push(e1)
-	r.push(e2)
-	r.push(e3)
+	// Dispatch seqs 0..2: each alloc must hand out the seq&mask slot.
+	for i := int64(0); i < 3; i++ {
+		e := r.alloc()
+		e.seq = i
+		e.state = stDispatched
+	}
 	if !r.full() {
 		t.Fatal("ring should be full")
 	}
 	var seqs []int64
 	r.each(func(e *entry) { seqs = append(seqs, e.seq) })
-	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[2] != 2 {
 		t.Fatalf("each order = %v", seqs)
 	}
-	if r.popFront() != e1 || r.popFront() != e2 {
-		t.Fatal("FIFO order broken")
+	if r.at(1).seq != 1 {
+		t.Fatal("at() does not resolve a live seq to its slot")
 	}
-	r.push(&entry{seq: 4}) // wraps around
-	if r.len() != 2 {
-		t.Fatalf("len = %d", r.len())
+	// Commit the two oldest; their slots keep the stale remains.
+	r.front().state = stCompleted
+	r.popFront()
+	r.front().state = stCompleted
+	r.popFront()
+	if r.len() != 1 || r.front().seq != 2 {
+		t.Fatalf("front after pops: len=%d seq=%d", r.len(), r.front().seq)
 	}
-	if r.popFront().seq != 3 || r.popFront().seq != 4 {
-		t.Fatal("wraparound order broken")
+	if got := r.at(0); got.seq != 0 || got.state != stCompleted {
+		t.Fatal("committed slot must keep its remains until re-allocated")
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("pop from empty must panic")
-			}
-		}()
-		r.popFront()
-	}()
+	// Re-dispatch into the ring: seq 3 wraps into a fresh slot.
+	e := r.alloc()
+	e.seq = 3
+	if r.len() != 2 || r.at(3).seq != 3 {
+		t.Fatal("wraparound alloc broken")
+	}
+	r.reset()
+	if r.len() != 0 || r.frontSeq != 0 {
+		t.Fatal("reset did not empty the ring")
+	}
+	if r.at(3).seq != -1 {
+		t.Fatal("reset must scrub stale seqs")
+	}
 }
 
 func TestRingOverflowPanics(t *testing.T) {
 	r := newRing(1)
-	r.push(&entry{})
+	r.alloc()
 	defer func() {
 		if recover() == nil {
-			t.Error("push to full ring must panic")
+			t.Error("alloc on a full ring must panic")
 		}
 	}()
-	r.push(&entry{})
+	r.alloc()
 }
 
 // The three schemes must order as the paper's Tables 3–4 do on a

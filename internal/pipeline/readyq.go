@@ -1,27 +1,29 @@
 package pipeline
 
-// seqHeap is a binary min-heap of ROB entries keyed by sequence number.
-// The issue stage keeps one heap per functional-unit class: popping
-// yields the oldest ready instruction of the class, which reproduces
-// the oldest-first priority of the original full-ROB scan (unit classes
-// share no issue-side state, so per-class ordering is equivalent to the
-// global ordering). The backing slice is retained across cycles and
-// runs, so pushes allocate only while the heap grows past its
-// historical high-water mark.
+// seqHeap is a binary min-heap of sequence numbers. The issue stage
+// keeps one heap per functional-unit class: popping yields the oldest
+// ready instruction of the class, which reproduces the oldest-first
+// priority of the original full-ROB scan (unit classes share no
+// issue-side state, so per-class ordering is equivalent to the global
+// ordering). The seq is its own sort key and its own identity
+// (ring.at resolves it to the entry), so sift-up and sift-down compare
+// and move bare integers — no pointer loads in the inner loops. The
+// backing slice is retained across cycles and runs, so pushes allocate
+// only while the heap grows past its historical high-water mark.
 type seqHeap struct {
-	a []*entry
+	a []int64
 }
 
 func (h *seqHeap) len() int { return len(h.a) }
 
 func (h *seqHeap) reset() { h.a = h.a[:0] }
 
-func (h *seqHeap) push(e *entry) {
-	h.a = append(h.a, e)
+func (h *seqHeap) push(seq int64) {
+	h.a = append(h.a, seq)
 	i := len(h.a) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.a[parent].seq <= h.a[i].seq {
+		if h.a[parent] <= h.a[i] {
 			break
 		}
 		h.a[parent], h.a[i] = h.a[i], h.a[parent]
@@ -29,11 +31,10 @@ func (h *seqHeap) push(e *entry) {
 	}
 }
 
-func (h *seqHeap) pop() *entry {
+func (h *seqHeap) pop() int64 {
 	n := len(h.a)
 	top := h.a[0]
 	last := h.a[n-1]
-	h.a[n-1] = nil
 	h.a = h.a[:n-1]
 	if n > 1 {
 		h.a[0] = last
@@ -41,10 +42,10 @@ func (h *seqHeap) pop() *entry {
 		for {
 			l, r := 2*i+1, 2*i+2
 			small := i
-			if l < n-1 && h.a[l].seq < h.a[small].seq {
+			if l < n-1 && h.a[l] < h.a[small] {
 				small = l
 			}
-			if r < n-1 && h.a[r].seq < h.a[small].seq {
+			if r < n-1 && h.a[r] < h.a[small] {
 				small = r
 			}
 			if small == i {
@@ -55,4 +56,59 @@ func (h *seqHeap) pop() *entry {
 		}
 	}
 	return top
+}
+
+// readyQ holds one unit class's issue-ready seqs and pops them
+// minimum-seq (oldest) first. It exploits that the two feeders have
+// very different order profiles: dispatch enqueues in strictly
+// increasing seq order (dispatch is in order), so those go to a plain
+// FIFO ring that stays sorted for free; completion wakes arrive in
+// arbitrary order and go to the heap. pop takes the smaller of the two
+// fronts, which is exactly the minimum of the union — the same pop
+// sequence a single heap over all elements would produce, at a fraction
+// of the sift traffic (most ready instructions never wait on a wake).
+type readyQ struct {
+	fifo  []int64
+	head  int
+	count int
+	mask  int
+	heap  seqHeap
+}
+
+// init sizes the FIFO for an active list of depth rob (every queued seq
+// is a distinct in-flight instruction, so occupancy never exceeds it).
+func (q *readyQ) init(rob int) {
+	if size := pow2(rob); len(q.fifo) < size {
+		q.fifo = make([]int64, size)
+	}
+	q.mask = len(q.fifo) - 1
+	q.head, q.count = 0, 0
+	q.heap.reset()
+}
+
+func (q *readyQ) len() int { return q.count + len(q.heap.a) }
+
+// pushOrdered enqueues a seq that is strictly greater than every seq
+// previously pushed this run (the dispatch feeder). The len-1 mask
+// spelling lets the compiler drop the bounds check.
+func (q *readyQ) pushOrdered(seq int64) {
+	q.fifo[(q.head+q.count)&(len(q.fifo)-1)] = seq
+	q.count++
+}
+
+// pushWake enqueues a seq in arbitrary order (the completion feeder).
+func (q *readyQ) pushWake(seq int64) { q.heap.push(seq) }
+
+// pop removes and returns the minimum seq across both feeders.
+func (q *readyQ) pop() int64 {
+	if q.count == 0 {
+		return q.heap.pop()
+	}
+	f := q.fifo[q.head&(len(q.fifo)-1)]
+	if len(q.heap.a) > 0 && q.heap.a[0] < f {
+		return q.heap.pop()
+	}
+	q.head++
+	q.count--
+	return f
 }

@@ -1,61 +1,110 @@
 package pipeline
 
-// ring is a fixed-capacity FIFO of ROB entries (the active list is
-// bounded by the machine's ActiveList depth, so a circular buffer
-// avoids per-instruction slice churn on multi-million-instruction runs).
-type ring struct {
-	buf   []*entry
-	head  int
-	count int
+// pow2 rounds n up to the next power of two (minimum 1), so the ring
+// buffers can replace their per-access modulo — a ~25-cycle integer
+// division on a non-constant size, several times per simulated
+// instruction — with a mask.
+func pow2(n int) int {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return size
 }
 
-func newRing(capacity int) *ring { return &ring{buf: make([]*entry, capacity)} }
+// ring is the reorder buffer (active list): a fixed-capacity FIFO of
+// entry values. Because every instruction is dispatched exactly once,
+// in sequence order, the ROB always holds a contiguous range of
+// sequence numbers [frontSeq, frontSeq+count) — so an entry's slot is
+// simply buf[seq&mask], stable for its whole in-flight lifetime. That
+// makes the sequence number itself the entry's identity: the wheel,
+// the ready queues and the dependence edges all carry bare integers
+// instead of pointers (no write barriers on the hot paths, nothing for
+// the garbage collector to chase), and at(seq) resolves them in one
+// indexed load.
+//
+// A slot keeps its seq and state after commit until a younger
+// instruction (seq' = seq + k·size, k ≥ 1) is dispatched into it, so
+// possibly-stale references fence themselves: a recorded producer seq
+// still names an in-flight instruction iff the slot's seq matches and
+// its state is not completed (see Pipeline.producer).
+type ring struct {
+	buf      []entry
+	mask     int64
+	cap      int
+	frontSeq int64
+	count    int
+}
+
+func newRing(capacity int) *ring {
+	size := pow2(capacity)
+	r := &ring{buf: make([]entry, size), mask: int64(size - 1), cap: capacity}
+	r.scrub()
+	return r
+}
 
 func (r *ring) len() int { return r.count }
 
-func (r *ring) full() bool { return r.count == len(r.buf) }
+func (r *ring) full() bool { return r.count == r.cap }
 
-func (r *ring) push(e *entry) {
+// alloc reserves the slot for the next sequence number and returns it
+// for in-place initialization. The caller must set every header field
+// (the slot holds a committed predecessor's remains); depsOver keeps
+// its capacity across incarnations.
+func (r *ring) alloc() *entry {
 	if r.full() {
 		panic("pipeline: ROB overflow")
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = e
+	e := &r.buf[(r.frontSeq+int64(r.count))&int64(len(r.buf)-1)]
 	r.count++
-}
-
-func (r *ring) front() *entry {
-	if r.count == 0 {
-		return nil
-	}
-	return r.buf[r.head]
-}
-
-func (r *ring) popFront() *entry {
-	e := r.front()
-	if e == nil {
-		panic("pipeline: pop from empty ROB")
-	}
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
-	r.count--
 	return e
 }
 
-// each visits entries oldest-first; the visitor must not mutate the
-// ring's membership.
+// at returns the slot owned by seq while seq is in flight — and its
+// stale remains afterwards (callers that may hold a committed seq must
+// fence with the seq/state check, see Pipeline.producer). The mask is
+// spelled len-1 so the compiler proves the index in bounds (this is the
+// hottest load in the simulator).
+func (r *ring) at(seq int64) *entry {
+	return &r.buf[seq&int64(len(r.buf)-1)]
+}
+
+func (r *ring) front() *entry {
+	return &r.buf[r.frontSeq&int64(len(r.buf)-1)]
+}
+
+// popFront retires the oldest entry. Its slot keeps the committed
+// remains (seq, completed state) until re-allocated.
+func (r *ring) popFront() {
+	r.frontSeq++
+	r.count--
+}
+
+// each visits in-flight entries oldest-first; the visitor must not
+// mutate the ring's membership.
 func (r *ring) each(f func(*entry)) {
 	for i := 0; i < r.count; i++ {
-		f(r.buf[(r.head+i)%len(r.buf)])
+		f(&r.buf[(r.frontSeq+int64(i))&r.mask])
 	}
 }
 
-// reset empties the ring (leftovers are possible only after an aborted
-// run) without releasing its backing array.
+// reset empties the ring and scrubs the slots so remains from a prior
+// run can never satisfy a new run's seq fence (sequence numbers restart
+// at zero every run).
 func (r *ring) reset() {
+	r.frontSeq, r.count = 0, 0
+	r.scrub()
+}
+
+func (r *ring) scrub() {
 	for i := range r.buf {
-		r.buf[i] = nil
+		e := &r.buf[i]
+		e.seq = -1
+		e.state = stCompleted
+		e.pending = 0
+		e.ndeps = 0
+		e.depsOver = e.depsOver[:0]
 	}
-	r.head, r.count = 0, 0
 }
 
 // fetchRing is the fetch/dispatch decoupling buffer: a fixed-capacity
@@ -66,6 +115,8 @@ func (r *ring) reset() {
 // whole run.
 type fetchRing struct {
 	buf   []fetchItem
+	mask  int
+	cap   int
 	head  int
 	count int
 }
@@ -73,25 +124,38 @@ type fetchRing struct {
 // init sizes the buffer to capacity and empties it, retaining the
 // backing array when it is already large enough.
 func (r *fetchRing) init(capacity int) {
-	if len(r.buf) < capacity {
-		r.buf = make([]fetchItem, capacity)
+	if size := pow2(capacity); len(r.buf) < size {
+		r.buf = make([]fetchItem, size)
 	}
+	r.mask = len(r.buf) - 1
+	r.cap = capacity
 	r.head, r.count = 0, 0
 }
 
 func (r *fetchRing) len() int { return r.count }
 
 func (r *fetchRing) push(it fetchItem) {
-	if r.count == len(r.buf) {
+	*r.pushSlot() = it
+}
+
+// pushSlot reserves the next slot and returns it for in-place decode,
+// sparing the 100+-byte fetchItem copy per fetched instruction. The
+// caller either fills the slot or calls unpush (end of trace).
+func (r *fetchRing) pushSlot() *fetchItem {
+	if r.count == r.cap {
 		panic("pipeline: fetch buffer overflow")
 	}
-	r.buf[(r.head+r.count)%len(r.buf)] = it
+	it := &r.buf[(r.head+r.count)&r.mask]
 	r.count++
+	return it
 }
+
+// unpush releases the slot most recently reserved by pushSlot.
+func (r *fetchRing) unpush() { r.count-- }
 
 func (r *fetchRing) front() *fetchItem { return &r.buf[r.head] }
 
 func (r *fetchRing) popFront() {
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.count--
 }

@@ -1,28 +1,34 @@
 package pipeline
 
-// wheel is a timing wheel over ROB entries keyed by completion cycle.
-// Issue schedules each entry into the bucket of its completion cycle;
-// the Complete stage then drains exactly one bucket per cycle instead
-// of scanning the whole active list. Bucket count only needs to exceed
-// the worst-case operation latency (longest unit latency plus the cache
-// miss penalty), so the wheel is tiny and bucket slices are recycled —
-// steady state allocates nothing.
+// wheel is a timing wheel over in-flight instructions keyed by
+// completion cycle. Issue schedules each instruction's sequence number
+// into the bucket of its completion cycle; the Complete stage then
+// drains exactly one bucket per cycle instead of scanning the whole
+// active list. Buckets hold bare sequence numbers — the seq is both
+// the identity (resolved via ring.at) and the program-order sort key,
+// so filing and draining touch no pointers and incur no write
+// barriers. Bucket count only needs to exceed the worst-case operation
+// latency (longest unit latency plus the cache miss penalty), so the
+// wheel is tiny and bucket slices are recycled — steady state
+// allocates nothing.
 type wheel struct {
-	buckets [][]*entry
+	buckets [][]int64
 	pending int
 }
 
 // init sizes the wheel for a maximum schedule horizon of maxLat cycles
 // and clears any leftovers from an aborted run. Existing bucket
-// capacity is retained.
+// capacity is retained. Bucket counts are powers of two so the
+// per-schedule and per-cycle bucket lookup is a mask instead of a
+// 64-bit modulo.
 func (w *wheel) init(maxLat int) {
-	size := maxLat + 2 // strict: delta < size must hold for every schedule
+	size := pow2(maxLat + 2) // strict: delta < size must hold for every schedule
 	if size < 8 {
 		size = 8
 	}
 	if len(w.buckets) < size {
 		old := w.buckets
-		w.buckets = make([][]*entry, size)
+		w.buckets = make([][]int64, size)
 		copy(w.buckets, old)
 	}
 	for i := range w.buckets {
@@ -31,14 +37,16 @@ func (w *wheel) init(maxLat int) {
 	w.pending = 0
 }
 
-// schedule files e under its completion cycle. now is the current
-// cycle; e.complete must already be clamped to now+1 or later.
-func (w *wheel) schedule(e *entry, now int64) {
-	if d := e.complete - now; int(d) >= len(w.buckets) {
-		w.grow(now, int(d))
+// schedule files seq under its completion cycle. now is the current
+// cycle; complete must already be clamped to now+1 or later. rob is
+// consulted only on the cold grow path (re-filing needs each pending
+// seq's completion cycle).
+func (w *wheel) schedule(rob *ring, seq, complete, now int64) {
+	if d := complete - now; int(d) >= len(w.buckets) {
+		w.grow(rob, now, int(d))
 	}
-	i := int(e.complete % int64(len(w.buckets)))
-	w.buckets[i] = append(w.buckets[i], e)
+	i := int(complete & int64(len(w.buckets)-1))
+	w.buckets[i] = append(w.buckets[i], seq)
 	w.pending++
 }
 
@@ -48,45 +56,48 @@ func (w *wheel) schedule(e *entry, now int64) {
 // ROB scan did. The returned slice is only valid until the next
 // schedule into the same bucket, which cannot happen before the
 // caller finishes draining it.
-func (w *wheel) take(cycle int64) []*entry {
-	i := int(cycle % int64(len(w.buckets)))
+func (w *wheel) take(cycle int64) []int64 {
+	i := int(cycle & int64(len(w.buckets)-1))
 	b := w.buckets[i]
+	if len(b) == 0 {
+		return nil // most cycles complete nothing; skip the header store
+	}
 	w.buckets[i] = b[:0]
 	w.pending -= len(b)
-	sortEntriesBySeq(b)
+	sortSeqs(b)
 	return b
 }
 
 // grow rebuilds the wheel with a horizon covering need cycles,
-// re-filing every pending entry under the new modulus. Only reachable
+// re-filing every pending seq under the new modulus. Only reachable
 // when a model's latencies change between runs of a reused Pipeline.
-func (w *wheel) grow(now int64, need int) {
+func (w *wheel) grow(rob *ring, now int64, need int) {
 	old := w.buckets
 	size := 2 * len(old)
 	for size <= need+1 {
 		size *= 2
 	}
-	w.buckets = make([][]*entry, size)
+	w.buckets = make([][]int64, size)
 	w.pending = 0
 	for _, b := range old {
-		for _, e := range b {
-			w.schedule(e, now)
+		for _, seq := range b {
+			w.schedule(rob, seq, rob.at(seq).complete, now)
 		}
 	}
 }
 
-// sortEntriesBySeq is an insertion sort: buckets are concatenations of
-// ascending runs (issue visits entries oldest-first within a cycle), so
-// on these near-sorted handfuls it beats sort.Slice and allocates
-// nothing.
-func sortEntriesBySeq(b []*entry) {
+// sortSeqs is an insertion sort: buckets are concatenations of
+// ascending runs (issue visits instructions oldest-first within a
+// cycle), so on these near-sorted handfuls it beats sort.Slice and
+// allocates nothing.
+func sortSeqs(b []int64) {
 	for i := 1; i < len(b); i++ {
-		e := b[i]
+		s := b[i]
 		j := i - 1
-		for j >= 0 && b[j].seq > e.seq {
+		for j >= 0 && b[j] > s {
 			b[j+1] = b[j]
 			j--
 		}
-		b[j+1] = e
+		b[j+1] = s
 	}
 }

@@ -98,6 +98,7 @@ func (s Stats) Accuracy() float64 {
 // the prediction of the survivors (paper §1, citing [9, 5]).
 type TwoBit struct {
 	entries int
+	mask    int // entries-1 when entries is a power of two, else 0
 	table   []uint8
 	stats   Stats
 }
@@ -113,16 +114,34 @@ func NewTwoBit(entries int) *TwoBit {
 	if entries <= 0 {
 		panic("predict: table size must be positive")
 	}
-	p := &TwoBit{entries: entries}
+	p := &TwoBit{entries: entries, mask: pow2Mask(entries)}
 	p.Reset()
 	return p
 }
 
-func (p *TwoBit) index(pc uint64) int { return int(pc/4) % p.entries }
+// pow2Mask returns n-1 when n is a power of two, else 0 — the index
+// fast path: table sizes are pow2 in every paper configuration, and a
+// mask spares a hardware division per lookup and per training update.
+func pow2Mask(n int) int {
+	if n&(n-1) == 0 {
+		return n - 1
+	}
+	return 0
+}
 
-// Predict implements Predictor.
-func (p *TwoBit) Predict(pc uint64, op isa.Op, actualTaken bool) Outcome {
-	switch Classify(op) {
+func (p *TwoBit) index(pc uint64) int {
+	if p.mask != 0 {
+		return int(pc/4) & p.mask
+	}
+	return int(pc/4) % p.entries
+}
+
+// PredictClass is Predict for callers that already classified the
+// opcode (the pipeline's decode window caches the class per opcode), so
+// the hot path skips re-deriving it. Predict delegates here; the two
+// must stay one implementation.
+func (p *TwoBit) PredictClass(c Class, pc uint64, actualTaken bool) Outcome {
+	switch c {
 	case ClassLikely:
 		p.stats.Lookups++
 		if actualTaken {
@@ -144,10 +163,16 @@ func (p *TwoBit) Predict(pc uint64, op isa.Op, actualTaken bool) Outcome {
 	return Outcome{}
 }
 
-// Update implements Predictor: only plain conditional branches train
-// the table (likely branches have no counter).
-func (p *TwoBit) Update(pc uint64, op isa.Op, taken bool) {
-	if Classify(op) != ClassCond {
+// Predict implements Predictor.
+func (p *TwoBit) Predict(pc uint64, op isa.Op, actualTaken bool) Outcome {
+	return p.PredictClass(Classify(op), pc, actualTaken)
+}
+
+// UpdateClass is Update with a pre-computed class (see PredictClass):
+// only plain conditional branches train the table (likely branches have
+// no counter).
+func (p *TwoBit) UpdateClass(c Class, pc uint64, taken bool) {
+	if c != ClassCond {
 		return
 	}
 	i := p.index(pc)
@@ -160,16 +185,50 @@ func (p *TwoBit) Update(pc uint64, op isa.Op, taken bool) {
 	}
 }
 
+// Update implements Predictor.
+func (p *TwoBit) Update(pc uint64, op isa.Op, taken bool) {
+	p.UpdateClass(Classify(op), pc, taken)
+}
+
 // Stats implements Predictor.
 func (p *TwoBit) Stats() Stats { return p.stats }
 
-// Reset implements Predictor.
+// Reset implements Predictor. The table slice is reused in place:
+// predictors built by NewTwoBitLanes share one backing array, and a
+// reallocation here would silently detach a lane from it.
 func (p *TwoBit) Reset() {
-	p.table = make([]uint8, p.entries)
+	if p.table == nil {
+		p.table = make([]uint8, p.entries)
+	}
 	for i := range p.table {
 		p.table[i] = twoBitInit
 	}
 	p.stats = Stats{}
+}
+
+// NewTwoBitLanes returns one 2-bit predictor per requested table size,
+// with every table carved out of a single contiguous backing array.
+// Batched lockstep sweeps use this lane-major layout so N predictor
+// variants' counter state stays dense in cache while the lanes advance
+// over the same instruction window.
+func NewTwoBitLanes(sizes []int) []*TwoBit {
+	total := 0
+	for _, n := range sizes {
+		if n <= 0 {
+			panic("predict: table size must be positive")
+		}
+		total += n
+	}
+	backing := make([]uint8, total)
+	preds := make([]*TwoBit, len(sizes))
+	off := 0
+	for i, n := range sizes {
+		p := &TwoBit{entries: n, mask: pow2Mask(n), table: backing[off : off+n : off+n]}
+		p.Reset()
+		preds[i] = p
+		off += n
+	}
+	return preds
 }
 
 // Perfect predicts every control transfer correctly, including the

@@ -166,12 +166,15 @@ func (s *Service) streamRun(w http.ResponseWriter, r *http.Request, req RunReque
 }
 
 // handleSweep streams the paper's full table — every workload under
-// every scheme — as NDJSON, one result line per simulation in
-// completion order. All cells go through the same store → coalesce →
+// every scheme — as NDJSON, one result line per simulation. By default
+// the sweep is batched: every cell not answered by the store or an
+// in-flight twin joins ONE pool job whose lockstep simulation drains
+// each distinct (workload, program) trace once for all of its cells
+// (?batch=0 restores the per-cell fan-out, one drain per simulated
+// cell). Either way all cells go through the same store → coalesce →
 // pool path, so a repeated sweep is served from disk and a concurrent
-// one coalesces cell-by-cell. Cells shed by backpressure are retried
-// until the client gives up (the sweep holds no queue slots while
-// backing off).
+// one coalesces. Backpressure sheds are retried until the client gives
+// up (the sweep holds no queue slots while backing off).
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
@@ -198,6 +201,31 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			reqs = append(reqs, RunRequest{Workload: wl.Name, Scheme: scheme.String(), PredictorEntries: entries})
 		}
 	}
+
+	if r.URL.Query().Get("batch") != "0" {
+		for {
+			cells, err := s.DoSweep(r.Context(), reqs)
+			var over *ErrOverloaded
+			if errors.As(err, &over) {
+				select {
+				case <-time.After(200 * time.Millisecond):
+					continue
+				case <-r.Context().Done():
+					ndjson(w, streamEvent{Event: "error", Error: r.Context().Err().Error()})
+					return
+				}
+			}
+			for _, c := range cells {
+				if c.Err != nil {
+					ndjson(w, streamEvent{Event: "error", Error: c.Err.Error()})
+					continue
+				}
+				ndjson(w, streamEvent{Event: StageResult, Result: c.Res})
+			}
+			return
+		}
+	}
+
 	out := make(chan cell, len(reqs))
 	for _, req := range reqs {
 		go func(req RunRequest) {
@@ -237,7 +265,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w, s.runner.ArchRuns())
+	s.metrics.WritePrometheus(w, RunnerStats{
+		ArchRuns:    s.runner.ArchRuns(),
+		TraceDrains: s.runner.TraceDrains(),
+		SimLanes:    s.runner.SimLanes(),
+	})
 }
 
 func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {

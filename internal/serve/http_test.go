@@ -192,6 +192,14 @@ func TestHTTPSweep(t *testing.T) {
 	if captures != 8 {
 		t.Errorf("sweep ArchRuns = %d, want 8 (2 per workload)", captures)
 	}
+	// The batched default simulates all 12 cells with one drain per
+	// distinct (workload, program): base + optimized per workload.
+	if got := s.runner.TraceDrains(); got != 8 {
+		t.Errorf("sweep TraceDrains = %d, want 8", got)
+	}
+	if got := s.runner.SimLanes(); got != 12 {
+		t.Errorf("sweep SimLanes = %d, want 12", got)
+	}
 
 	second := sweep()
 	for _, ev := range second {
@@ -201,6 +209,59 @@ func TestHTTPSweep(t *testing.T) {
 	}
 	if got := s.runner.ArchRuns(); got != captures {
 		t.Errorf("repeat sweep added captures: %d → %d", captures, got)
+	}
+	if got := s.runner.TraceDrains(); got != 8 {
+		t.Errorf("repeat sweep added drains: %d, want 8", got)
+	}
+
+	// /metrics exposes the batching counters and their ratio.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{
+		"sgserved_trace_drains_total 8",
+		"sgserved_sim_lanes_total 12",
+		"sgserved_lanes_per_drain 1.5",
+	} {
+		if !strings.Contains(string(mdata), line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}
+
+// TestHTTPSweepUnbatched: ?batch=0 restores the per-cell fan-out — the
+// results match, but every simulated cell costs its own trace drain.
+func TestHTTPSweepUnbatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	s, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/sweep?batch=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad sweep line: %v", err)
+		}
+		if ev.Event != StageResult {
+			t.Fatalf("sweep cell failed: %+v", ev)
+		}
+		lines++
+	}
+	if lines != 12 {
+		t.Fatalf("sweep returned %d lines, want 12", lines)
+	}
+	if drains, lanes := s.runner.TraceDrains(), s.runner.SimLanes(); drains != lanes {
+		t.Errorf("unbatched sweep: drains %d != lanes %d", drains, lanes)
 	}
 }
 

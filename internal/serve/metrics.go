@@ -78,19 +78,50 @@ var metricRows = []metricRow{
 	{"sgserved_draining", "1 once graceful shutdown has begun.", "gauge", func(m *Metrics) int64 { return m.Draining.Load() }},
 }
 
+// RunnerStats carries the shared Runner's cumulative counters into the
+// metrics exposition: they live in the Runner (the serve layer never
+// simulates on its own), but scrapes want them next to the service
+// counters so the caching AND batching invariants are provable from
+// one endpoint.
+type RunnerStats struct {
+	// ArchRuns counts architectural executions (trace captures).
+	ArchRuns int64
+	// TraceDrains counts packed-trace decodes into timing simulations;
+	// one batched drain can feed many lanes.
+	TraceDrains int64
+	// SimLanes counts the timing-simulation lanes those drains fed.
+	SimLanes int64
+}
+
 // WritePrometheus renders every counter, gauge and histogram in the
-// Prometheus text exposition format (version 0.0.4). archRuns is the
-// Runner's architectural-execution count, surfaced here so an external
-// scrape can prove the coalescing/caching invariants (the serve-smoke
-// target and the acceptance tests key off it).
-func (m *Metrics) WritePrometheus(w io.Writer, archRuns int64) {
+// Prometheus text exposition format (version 0.0.4). rs is the
+// Runner's cumulative state, surfaced here so an external scrape can
+// prove the coalescing/caching invariants (arch_runs) and the batching
+// amortization (sim_lanes/trace_drains) — the serve-smoke target and
+// the acceptance tests key off these.
+func (m *Metrics) WritePrometheus(w io.Writer, rs RunnerStats) {
 	for _, row := range metricRows {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			row.name, row.help, row.name, row.typ, row.name, row.value(m))
 	}
-	fmt.Fprintf(w, "# HELP sgserved_arch_runs_total Architectural executions (trace captures) performed by the shared Runner.\n")
-	fmt.Fprintf(w, "# TYPE sgserved_arch_runs_total counter\n")
-	fmt.Fprintf(w, "sgserved_arch_runs_total %d\n", archRuns)
+	for _, rr := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"sgserved_arch_runs_total", "Architectural executions (trace captures) performed by the shared Runner.", rs.ArchRuns},
+		{"sgserved_trace_drains_total", "Packed-trace drains decoded into timing simulations by the shared Runner (a batched drain feeds many lanes).", rs.TraceDrains},
+		{"sgserved_sim_lanes_total", "Timing-simulation lanes fed by those trace drains.", rs.SimLanes},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			rr.name, rr.help, rr.name, rr.name, rr.value)
+	}
+	lanesPerDrain := 0.0
+	if rs.TraceDrains > 0 {
+		lanesPerDrain = float64(rs.SimLanes) / float64(rs.TraceDrains)
+	}
+	fmt.Fprintf(w, "# HELP sgserved_lanes_per_drain Mean simulation lanes per trace drain (sim_lanes/trace_drains); above 1 means batching is amortizing decode cost.\n")
+	fmt.Fprintf(w, "# TYPE sgserved_lanes_per_drain gauge\n")
+	fmt.Fprintf(w, "sgserved_lanes_per_drain %g\n", lanesPerDrain)
 
 	h := &m.SimSeconds
 	fmt.Fprintf(w, "# HELP sgserved_sim_seconds Wall time of executed simulations.\n")

@@ -185,6 +185,13 @@ type flight struct {
 	delay   time.Duration
 	timeout time.Duration
 
+	// group marks a batched sweep leader: a synthetic flight that holds
+	// one worker slot and simulates all of its member flights in one
+	// Runner.RunSpecs call (one trace drain per distinct program). The
+	// leader itself is never in s.flights and has no waiters; its
+	// members are, and coalesce like any other flight.
+	group []*flight
+
 	done chan struct{} // closed when resp/err are set
 	resp *RunResponse
 	err  error
@@ -424,6 +431,10 @@ func (s *Service) worker() {
 // runFlight performs one simulation under the service context, then
 // publishes the result to every waiter and the store.
 func (s *Service) runFlight(f *flight) {
+	if f.group != nil {
+		s.runGroupFlight(f)
+		return
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.flights, f.key)
@@ -475,6 +486,178 @@ func (s *Service) runFlight(f *flight) {
 			s.metrics.StoreWrites.Add(1)
 		}
 	}
+}
+
+// runGroupFlight simulates every member of a batched sweep leader with
+// one Runner.RunSpecs call, so cells sharing a (workload, program)
+// trace drain it once, in lockstep. Each member then publishes to its
+// own waiters and the store exactly as a solo flight would. SimMS on
+// every member is the whole group's wall time: the lanes share one
+// drain, there is no meaningful per-lane figure.
+func (s *Service) runGroupFlight(f *flight) {
+	members := f.group
+	defer func() {
+		s.mu.Lock()
+		for _, m := range members {
+			delete(s.flights, m.key)
+		}
+		s.mu.Unlock()
+		for _, m := range members {
+			close(m.done)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, f.timeout)
+	defer cancel()
+	specs := make([]bench.Spec, len(members))
+	for i, m := range members {
+		specs[i] = m.spec
+	}
+	start := time.Now()
+	results, err := s.runner.RunSpecs(ctx, specs)
+	elapsed := time.Since(start)
+	s.metrics.SimRuns.Add(int64(len(members)))
+	s.metrics.SimSeconds.Observe(elapsed)
+	if err != nil {
+		s.metrics.SimErrors.Add(int64(len(members)))
+		for _, m := range members {
+			m.err = err
+		}
+		return
+	}
+	for i, m := range members {
+		res := results[i]
+		m.resp = &RunResponse{
+			Key:              addr(m.key),
+			Canonical:        m.key,
+			Workload:         m.req.Workload,
+			Scheme:           m.req.Scheme,
+			PredictorEntries: m.req.PredictorEntries,
+			Source:           "sim",
+			IPC:              res.Stats.IPC(),
+			PredAccuracy:     res.Stats.PredAccuracy(),
+			SimMS:            float64(elapsed) / float64(time.Millisecond),
+			Stats:            res.Stats,
+			Report:           res.Report,
+		}
+		if s.store != nil {
+			if err := s.store.Put(m.key, m.resp); err != nil {
+				s.cfg.Logf("store: persisting %s: %v", m.key, err)
+			} else {
+				s.metrics.StoreWrites.Add(1)
+			}
+		}
+	}
+}
+
+// sweepCell is one cell's outcome from DoSweep, in request order.
+type sweepCell struct {
+	Res *RunResponse
+	Err error
+}
+
+// DoSweep executes a set of requests as one batched unit: store hits
+// answer immediately, cells identical to an in-flight run coalesce
+// onto it, and everything left becomes ONE worker-pool job whose
+// RunSpecs call groups cells by shared trace — a full sweep costs one
+// trace drain per distinct (workload, program) instead of one per
+// cell. Returns cells aligned with reqs, or ErrOverloaded (with nil
+// cells) when the queue has no slot for the group job — the caller
+// may back off and retry the whole call; nothing is left enqueued.
+func (s *Service) DoSweep(ctx context.Context, reqs []RunRequest) ([]sweepCell, error) {
+	cells := make([]sweepCell, len(reqs))
+	type miss struct {
+		i    int
+		spec bench.Spec
+		key  string
+		req  RunRequest
+	}
+	var misses []miss
+	for i := range reqs {
+		s.metrics.Requests.Add(1)
+		req := reqs[i]
+		spec, key, err := s.normalize(&req)
+		if err != nil {
+			s.metrics.BadRequests.Add(1)
+			cells[i].Err = err
+			continue
+		}
+		if s.store != nil {
+			res, ok, quarantined, serr := s.store.Get(key)
+			if quarantined {
+				s.metrics.StoreQuarantined.Add(1)
+				s.cfg.Logf("store: quarantined corrupt entry for %s", key)
+			}
+			if serr != nil {
+				s.cfg.Logf("store: read error for %s: %v", key, serr)
+			}
+			if ok {
+				s.metrics.StoreHits.Add(1)
+				res.Source = "store"
+				cells[i].Res = res
+				continue
+			}
+		}
+		misses = append(misses, miss{i, spec, key, req})
+	}
+	if len(misses) == 0 {
+		return cells, nil
+	}
+
+	type waiter struct {
+		i      int
+		f      *flight
+		source string
+	}
+	var waits []waiter
+	var members []*flight
+	timeout := s.timeoutFor(0)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		for _, ms := range misses {
+			cells[ms.i].Err = ErrDraining
+		}
+		return cells, nil
+	}
+	// The whole group takes one queue slot; check before building any
+	// member so an overloaded return leaves no state behind.
+	if len(s.jobs) == cap(s.jobs) {
+		queued := len(s.jobs)
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		retry := time.Duration(1+queued/s.cfg.Workers) * time.Second
+		return nil, &ErrOverloaded{RetryAfter: retry}
+	}
+	for _, ms := range misses {
+		if f, ok := s.flights[ms.key]; ok {
+			s.metrics.CoalescedHits.Add(1)
+			waits = append(waits, waiter{ms.i, f, "coalesced"})
+			continue
+		}
+		f := &flight{
+			key:     ms.key,
+			spec:    ms.spec,
+			req:     ms.req,
+			timeout: timeout,
+			done:    make(chan struct{}),
+		}
+		s.flights[ms.key] = f
+		members = append(members, f)
+		waits = append(waits, waiter{ms.i, f, "sim"})
+	}
+	if len(members) > 0 {
+		s.metrics.QueueDepth.Add(1)
+		s.jobs <- &flight{group: members, timeout: timeout} // non-blocking: len < cap checked under mu
+	}
+	s.mu.Unlock()
+
+	for _, wt := range waits {
+		res, err := s.wait(ctx, wt.f, wt.source)
+		cells[wt.i] = sweepCell{res, err}
+	}
+	return cells, nil
 }
 
 // BeginDrain refuses new work: subsequent Do calls (and /healthz)

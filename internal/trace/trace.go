@@ -159,6 +159,11 @@ func (t *Trace) NewReader() *Reader {
 	return r
 }
 
+// Code returns the predecoded program the reader replays over, letting
+// consumers (the batched decode window) reuse its static per-instruction
+// metadata.
+func (r *Reader) Code() *interp.Code { return r.t.code }
+
 // Reset rewinds the reader to the first event.
 func (r *Reader) Reset() {
 	r.pc = r.t.code.Entry()
@@ -180,13 +185,25 @@ func (r *Reader) NextInto(ev *interp.Event) (bool, error) {
 		return false, fmt.Errorf("trace: replay fell off the flat code at event %d (corrupt trace?)", r.emitted)
 	}
 	f := r.t.code.Flat(r.pc)
-	*ev = interp.Event{
-		Fn:    f.Fn,
-		Block: f.Block,
-		Index: int(f.Index),
-		Instr: f.Instr,
-		Addr:  f.Addr,
+	// Field-wise reset instead of a struct literal: the literal forces a
+	// stack temporary plus an 80-byte duffcopy per event, which dominated
+	// the replay profile. The string clear is guarded so the common path
+	// (previous event was not a branch) skips the pointer store and its
+	// write-barrier check.
+	ev.Fn = f.Fn
+	ev.Block = f.Block
+	ev.Index = int(f.Index)
+	ev.Instr = f.Instr
+	ev.Addr = f.Addr
+	ev.Flat = r.pc
+	ev.Branch = false
+	ev.Taken = false
+	if ev.BranchSite != "" {
+		ev.BranchSite = ""
 	}
+	ev.Annulled = false
+	ev.IsMem = false
+	ev.MemAddr = 0
 	if f.Guarded {
 		if r.anPos >= r.t.annul.n {
 			return false, fmt.Errorf("trace: annul stream exhausted at event %d", r.emitted)
@@ -203,8 +220,8 @@ func (r *Reader) NextInto(ev *interp.Event) (bool, error) {
 			return true, nil
 		}
 	}
-	switch op := f.Op; {
-	case op.IsCondBranch():
+	switch f.Kind {
+	case interp.KindCond:
 		if r.brPos >= r.t.branch.n {
 			return false, fmt.Errorf("trace: branch stream exhausted at event %d", r.emitted)
 		}
@@ -218,25 +235,25 @@ func (r *Reader) NextInto(ev *interp.Event) (bool, error) {
 		} else {
 			r.pc = f.Next
 		}
-	case op == isa.J:
+	case interp.KindJump:
 		r.pc = f.Target
-	case op == isa.Call:
+	case interp.KindCall:
 		r.stack = append(r.stack, f.Next)
 		r.pc = f.Target
-	case op == isa.Ret:
+	case interp.KindRet:
 		if len(r.stack) == 0 {
 			return false, fmt.Errorf("trace: return with empty replay stack at event %d", r.emitted)
 		}
 		r.pc = r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-	case op == isa.Switch:
+	case interp.KindSwitch:
 		tgt, n := binary.Uvarint(r.t.ctrl[r.ctrlOff:])
 		if n <= 0 {
 			return false, fmt.Errorf("trace: control stream exhausted at event %d", r.emitted)
 		}
 		r.ctrlOff += n
 		r.pc = int32(tgt)
-	case op == isa.Halt:
+	case interp.KindHalt:
 		r.done = true
 	default:
 		if f.IsMem {

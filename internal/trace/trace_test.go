@@ -95,6 +95,13 @@ func TestReplayMatchesLive(t *testing.T) {
 		if !ok {
 			t.Fatalf("event %d: replay ended early", i)
 		}
+		// Flat is a replay-acceleration hint the tree interpreter never
+		// sets; verify it names the executed instruction, then exclude
+		// it from the identity check.
+		if code.Flat(ev.Flat).Instr != ev.Instr {
+			t.Fatalf("event %d: Flat hint %d does not name the executed instruction", i, ev.Flat)
+		}
+		ev.Flat = evR.Flat
 		if evR != ev {
 			t.Fatalf("event %d differs:\nlive:   %+v\nreplay: %+v", i, evR, ev)
 		}
@@ -157,6 +164,7 @@ func TestCorruptTraceDetected(t *testing.T) {
 		if errR != nil {
 			t.Fatal(errR)
 		}
+		ev.Flat = evR.Flat // hint field, excluded from identity (see TestReplayMatchesLive)
 		if evR != ev {
 			return // divergence detected
 		}

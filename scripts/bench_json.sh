@@ -1,10 +1,13 @@
 #!/bin/sh
-# Regenerate the "after" measurements recorded in BENCH_frontend.json
-# (and historically BENCH_pipeline.json). Runs the pipeline
+# Regenerate the machine-measured performance report and write it to
+# BENCH_batch.json (also echoed to stdout). Runs the pipeline
 # microbenchmark, the front-end rate benchmarks (live interpretation,
 # predecoded execution, packed-trace replay, pipeline-on-trace), the
-# predictor-sweep reuse accounting and the full-suite wall clock,
-# printing one JSON object to stdout.
+# batched-lockstep lane rates (1/4/8/24 lanes per shared trace drain),
+# the 24-cell sweep single-vs-batched CPU comparison with drain
+# accounting, the predictor-sweep reuse accounting and the full-suite
+# wall clock. The historical "after" blocks of BENCH_pipeline.json and
+# BENCH_frontend.json were cut from the same report.
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/sgbench -benchjson
+go run ./cmd/sgbench -benchjson | tee BENCH_batch.json

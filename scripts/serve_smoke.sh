@@ -8,7 +8,11 @@
 #   2. graceful drain — SIGTERM with a request in flight completes
 #      that request, persists it, and exits 0 ("drained cleanly");
 #   3. persistence — a restarted daemon sharing the store directory
-#      answers a repeated request from disk with zero simulations.
+#      answers a repeated request from disk with zero simulations;
+#   4. batched sweeps — /v1/sweep simulates all 12 cells with one
+#      trace drain per distinct (workload, program), observable as
+#      sim_lanes/trace_drains > 1 in /metrics, and a repeat sweep
+#      re-drains nothing.
 #
 # Run by `make serve-smoke` (part of `make check`). Seconds, not
 # minutes: the delay_ms knob widens the coalescing window
@@ -36,9 +40,9 @@ fail() {
 $GO build -o "$TMP/sgserved" ./cmd/sgserved
 
 # boot waits for the daemon in $1 (log file) to print its address and
-# sets BASE.
+# sets BASE; $2 (optional) names the store directory under $TMP.
 boot() {
-    "$TMP/sgserved" -addr 127.0.0.1:0 -store "$TMP/store" >"$TMP/$1" 2>&1 &
+    "$TMP/sgserved" -addr 127.0.0.1:0 -store "$TMP/${2:-store}" >"$TMP/$1" 2>&1 &
     SRV=$!
     ADDR=""
     i=0
@@ -109,4 +113,27 @@ kill -TERM "$SRV"
 wait "$SRV" || fail "restarted daemon exited non-zero"
 SRV=""
 echo "serve-smoke: persistence ok (store hits, zero re-simulation)"
+
+# --- 4. batched sweep: lanes per drain -------------------------------
+# Fresh store so the drain accounting is exact: 12 cells, but only 8
+# distinct (workload, program) traces — base + optimized per workload —
+# so the batched sweep performs 8 drains feeding 12 lanes.
+boot log3 store2
+curl -fsS "$BASE/v1/sweep" >"$TMP/sweep.ndjson" || fail "sweep request failed"
+results=$(grep -c '"event":"result"' "$TMP/sweep.ndjson") || true
+[ "$results" = 12 ] || fail "sweep streamed $results results, want 12"
+grep -q '"event":"error"' "$TMP/sweep.ndjson" && fail "sweep emitted an error event"
+expect sgserved_sim_runs_total 12
+expect sgserved_trace_drains_total 8
+expect sgserved_sim_lanes_total 12
+expect sgserved_lanes_per_drain 1.5
+# Repeat sweep: all 12 from the store, no new drains.
+curl -fsS "$BASE/v1/sweep" >"$TMP/sweep2.ndjson" || fail "repeat sweep failed"
+[ "$(grep -c '"source":"store"' "$TMP/sweep2.ndjson")" = 12 ] || fail "repeat sweep not served from store"
+expect sgserved_trace_drains_total 8
+expect sgserved_store_hits_total 12
+kill -TERM "$SRV"
+wait "$SRV" || fail "sweep daemon exited non-zero"
+SRV=""
+echo "serve-smoke: batched sweep ok (8 drains, 12 lanes, 1.5 lanes/drain)"
 echo "serve-smoke: OK"
