@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke
+.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke explore-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke
+check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke explore-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,8 +28,12 @@ test:
 # layer (coalescing, drain, backpressure) and the bench trace caches
 # it is built on — plus the batch golden tests (multi-lane lockstep
 # over one shared decode window), pinning lane isolation under -race.
+# The bench suite runs full timing simulations, which the detector
+# slows ~20×; heavy sweep tests shed redundant work under -race (see
+# bench/race_on_test.go) and the explicit -timeout gives slow
+# single-core machines headroom past the 600s default.
 test-race:
-	$(GO) test -race ./internal/serve/... ./internal/bench/...
+	$(GO) test -race -timeout 900s ./internal/serve/... ./internal/bench/...
 	$(GO) test -race -run 'TestBatchMatchesSingle|TestGoldenStatsBatched' ./internal/pipeline ./internal/bench
 
 # One iteration of each performance benchmark — catches benchmark rot
@@ -57,6 +61,13 @@ fuzz-smoke:
 # via /metrics.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the design-space sweep engine: a tiny grid
+# through /v1/explore (NDJSON points + report, non-empty Pareto
+# frontier, trace_drains < cells) and through the sgsweep CLI, plus
+# per-request machine models on /v1/run.
+explore-smoke:
+	./scripts/explore_smoke.sh
 
 # Regenerate the "after" block of BENCH_pipeline.json.
 bench-json:

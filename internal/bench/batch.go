@@ -5,44 +5,67 @@ import (
 	"fmt"
 
 	"specguard/internal/core"
+	"specguard/internal/machine"
 	"specguard/internal/pipeline"
 	"specguard/internal/predict"
 	"specguard/internal/prog"
 )
 
 // Batched sweep execution: RunSpecs groups heterogeneous Specs by the
-// trace they replay — the (workload, program fingerprint) pair — and
-// runs each group as one pipeline.Batch, so a whole sweep costs one
-// trace drain per distinct architectural execution instead of one per
-// cell. Within a group, cells that differ only in quantities the
-// timing simulation ignores (a Perfect lane's table size; duplicate
-// cells) share a lane outright. Lane Stats are byte-identical to the
-// single-lane RunSpec path (pinned by TestGoldenStatsBatched and the
-// drain-accounting test).
+// trace they replay and their I-cache geometry — the (workload, program
+// fingerprint, icache bytes, line bytes) tuple — and runs each group as
+// one pipeline.Batch, so a whole sweep costs one trace drain per
+// distinct architectural execution and geometry instead of one per
+// cell. Geometry is part of the key because the batch's shared
+// precomputed icache bits are only sound for lanes whose cache shape
+// matches (pipeline.Batch falls back to private caches otherwise, which
+// is correct but forfeits the sharing); models may differ per lane in
+// every other axis. Within a group, cells with identical timing
+// configuration share a lane outright. Lane Stats are byte-identical to
+// the single-lane RunSpec path (pinned by TestGoldenStatsBatched and
+// the drain-accounting test).
+
+// MaxBatchLanes caps the lanes folded into one lockstep drain. A giant
+// grid in one group would serialize the whole sweep onto a single
+// drain's goroutine; splitting into subgroups of this size restores the
+// multicore fan-out while keeping drains ≪ cells (lane dedup applies
+// within a subgroup).
+const MaxBatchLanes = 32
 
 // laneKey identifies a timing configuration within one trace group:
-// the predictor is the only thing RunSpecs varies per lane today.
+// predictor shape plus the full machine configuration (empty model key
+// = the Runner's model).
 type laneKey struct {
 	perfect bool
-	entries int // 0 for perfect lanes
+	entries int    // 0 for perfect lanes
+	model   string // machine.Model.Key() for per-spec models
 }
 
 // batchLane is one timing simulation shared by every spec index that
-// maps to the same laneKey within a group.
+// maps to the same laneKey within a subgroup.
 type batchLane struct {
 	key      laneKey
+	model    *machine.Model // nil = Runner's model
 	pred     predict.Predictor
 	specIdxs []int
 	stats    pipeline.Stats
 }
 
 // batchGroup is one trace drain: all lanes replaying the same
-// (workload, program) architectural execution.
+// (workload, program) architectural execution with one icache geometry.
 type batchGroup struct {
 	w     Workload
 	p     *prog.Program
 	lanes []*batchLane
 	byKey map[laneKey]*batchLane
+}
+
+// groupKey folds the trace identity with the icache geometry (see the
+// package comment above on why geometry splits drains).
+type groupKey struct {
+	traceKey
+	icBytes   int
+	lineBytes int
 }
 
 // TraceDrains returns how many times a packed trace has been decoded
@@ -76,6 +99,7 @@ func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
 	// options) and folding the cells into trace groups and lanes.
 	type optKey struct {
 		workload string
+		model    string // "" for the Runner's model
 		opts     core.Options
 	}
 	type optVal struct {
@@ -83,15 +107,17 @@ func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
 		rep *core.Report
 	}
 	optCache := map[optKey]optVal{}
-	groups := map[traceKey]*batchGroup{}
+	groups := map[groupKey]*batchGroup{}
 	var order []*batchGroup
 
 	for i, spec := range specs {
 		w := spec.Workload
 		out[i] = Result{Workload: w.Name, Scheme: spec.Scheme}
-		entries := spec.Entries
-		if entries <= 0 {
-			entries = r.entries()
+		m := r.specModel(spec)
+		entries := r.specEntries(spec, m)
+		var modelKey string
+		if spec.Model != nil {
+			modelKey = spec.Model.Key()
 		}
 		prof, err := r.ProfileOf(w)
 		if err != nil {
@@ -108,11 +134,11 @@ func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
 			if spec.Opt != nil {
 				opts = *spec.Opt
 			}
-			ok := optKey{w.Name, opts}
+			ok := optKey{w.Name, modelKey, opts}
 			ov, hit := optCache[ok]
 			if !hit {
 				ov.p = w.Build()
-				ov.rep, err = core.Optimize(ov.p, prof, r.Model, opts)
+				ov.rep, err = core.Optimize(ov.p, prof, m, opts)
 				if err != nil {
 					return nil, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
 				}
@@ -124,20 +150,27 @@ func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
 			return nil, fmt.Errorf("bench: unknown scheme %d", spec.Scheme)
 		}
 
-		gk := traceKey{w.Name, p.Fingerprint()}
+		gk := groupKey{traceKey{w.Name, p.Fingerprint()}, m.ICacheBytes, m.CacheLineBytes}
 		g := groups[gk]
 		if g == nil {
 			g = &batchGroup{w: w, p: p, byKey: map[laneKey]*batchLane{}}
 			groups[gk] = g
 			order = append(order, g)
 		}
-		lk := laneKey{perfect: spec.Scheme == SchemePerfect}
+		lk := laneKey{perfect: spec.Scheme == SchemePerfect, model: modelKey}
 		if !lk.perfect {
 			lk.entries = entries
 		}
 		ln := g.byKey[lk]
 		if ln == nil {
-			ln = &batchLane{key: lk}
+			if len(g.lanes) == MaxBatchLanes {
+				// Subgroup full: open a fresh drain for further lanes of
+				// this key so huge grids still fan out across cores.
+				g = &batchGroup{w: w, p: p, byKey: map[laneKey]*batchLane{}}
+				groups[gk] = g
+				order = append(order, g)
+			}
+			ln = &batchLane{key: lk, model: spec.Model}
 			g.byKey[lk] = ln
 			g.lanes = append(g.lanes, ln)
 		}
@@ -172,17 +205,26 @@ func (r *Runner) RunSpecs(ctx context.Context, specs []Spec) ([]Result, error) {
 // runGroup drains one trace through all of a group's lanes in
 // lockstep. TwoBit lanes get their counter tables carved out of a
 // single contiguous backing array, in lane order, so the batch's
-// predictor state stays dense.
+// predictor state stays dense; gshare and oracle lanes build their own
+// predictors. Each lane simulates on its own model (pipeline.Batch
+// supports heterogeneous lane models; the shared icache bits apply
+// because the group key pinned the geometry).
 func (r *Runner) runGroup(ctx context.Context, g *batchGroup) error {
 	tr, err := r.traceFor(g.p, g.w)
 	if err != nil {
 		return err
 	}
 
+	laneModel := func(ln *batchLane) *machine.Model {
+		if ln.model != nil {
+			return ln.model
+		}
+		return r.Model
+	}
 	var sizes []int
 	var twoBitLanes []*batchLane
 	for _, ln := range g.lanes {
-		if !ln.key.perfect {
+		if !ln.key.perfect && laneModel(ln).Predictor == machine.PredTwoBit {
 			sizes = append(sizes, ln.key.entries)
 			twoBitLanes = append(twoBitLanes, ln)
 		}
@@ -193,10 +235,11 @@ func (r *Runner) runGroup(ctx context.Context, g *batchGroup) error {
 	}
 	cfgs := make([]pipeline.Config, len(g.lanes))
 	for i, ln := range g.lanes {
-		if ln.key.perfect {
-			ln.pred = predict.NewPerfect()
+		m := laneModel(ln)
+		if ln.pred == nil {
+			ln.pred = buildPredictor(m, schemeForLane(ln), ln.key.entries)
 		}
-		cfgs[i] = pipeline.Config{Model: r.Model, Predictor: ln.pred, Context: ctx}
+		cfgs[i] = pipeline.Config{Model: m, Predictor: ln.pred, Context: ctx}
 	}
 	batch, err := pipeline.NewBatch(cfgs)
 	if err != nil {
@@ -212,4 +255,14 @@ func (r *Runner) runGroup(ctx context.Context, g *batchGroup) error {
 		ln.stats = stats[i]
 	}
 	return nil
+}
+
+// schemeForLane maps a lane back to the scheme facet buildPredictor
+// cares about: a perfect lane forces the oracle, anything else defers
+// to the lane model's predictor family.
+func schemeForLane(ln *batchLane) Scheme {
+	if ln.key.perfect {
+		return SchemePerfect
+	}
+	return SchemeTwoBit
 }

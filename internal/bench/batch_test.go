@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"specguard/internal/machine"
 )
 
 // goldenSpecs is the 12-cell matrix in golden_stats.json order
@@ -145,6 +147,199 @@ func TestRunSpecsDrainAccounting(t *testing.T) {
 	}
 	if got := r.SimLanes(); got != 21 {
 		t.Errorf("SimLanes after RunSpec = %d, want 21", got)
+	}
+}
+
+// TestGoldenStatsSpecModel pins the new Spec.Model path: a spec
+// carrying an explicit clone of the default R10000 model must produce
+// Stats byte-identical to the golden file recorded before the model
+// field existed — both through RunSpec and through the batched RunSpecs.
+func TestGoldenStatsSpecModel(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_stats.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenStats -update first): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := goldenSpecs()
+	for i := range specs {
+		specs[i].Model = machine.R10000()
+	}
+	ctx := context.Background()
+	check := func(label string, results []Result) {
+		t.Helper()
+		for i, res := range results {
+			got, err := json.Marshal(res.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantCompact bytes.Buffer
+			if err := json.Compact(&wantCompact, want[i].Stats); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantCompact.Bytes()) {
+				t.Errorf("%s %s/%s: explicit default model diverged from golden\n got: %s\nwant: %s",
+					label, res.Workload, res.Scheme, got, wantCompact.Bytes())
+			}
+		}
+	}
+
+	batched, err := NewRunner().RunSpecs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("batched", batched)
+
+	if raceDetectorOn {
+		// The single-RunSpec half re-runs the whole golden suite; under
+		// -race that is minutes of redundant work (TestGoldenStats pins
+		// the single path, and it is identical modulo the Model field).
+		return
+	}
+	r := NewRunner()
+	single := make([]Result, len(specs))
+	for i, spec := range specs {
+		if single[i], err = r.RunSpec(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("single", single)
+}
+
+// TestRunSpecsModelSweep drives a model grid through the batched path:
+// cells varying fetch width, ROB depth, predictor family and throttle
+// share trace drains (drains ≪ cells), duplicate model cells share a
+// lane, and each batched cell is byte-identical to its single RunSpec.
+func TestRunSpecsModelSweep(t *testing.T) {
+	axes := []machine.Axis{
+		{Name: "fetch_width", Values: []int{2, 4}},
+		{Name: "active_list", Values: []int{16, 32}},
+		{Name: "predictor", Values: []int{int(machine.PredTwoBit), int(machine.PredGShare)}},
+		{Name: "throttle_width", Values: []int{0, 2}},
+	}
+	points, err := machine.Expand(machine.R10000(), axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := All()[0]
+	specs := make([]Spec, 0, len(points)+1)
+	for _, pt := range points {
+		specs = append(specs, Spec{Workload: w, Scheme: SchemeTwoBit, Model: pt.Model})
+	}
+	// A duplicate of the first point must share its lane.
+	specs = append(specs, Spec{Workload: w, Scheme: SchemeTwoBit, Model: points[0].Model.Clone()})
+
+	r := NewRunner()
+	ctx := context.Background()
+	results, err := r.RunSpecs(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 17 {
+		t.Fatalf("got %d results, want 17", len(results))
+	}
+	// One workload, one program, one geometry: a single drain feeds all
+	// 16 distinct lanes (the 17th cell deduplicates).
+	if got := r.TraceDrains(); got != 1 {
+		t.Errorf("TraceDrains = %d, want 1 (cells batched by geometry)", got)
+	}
+	if got := r.SimLanes(); got != 16 {
+		t.Errorf("SimLanes = %d, want 16 (duplicate model shares a lane)", got)
+	}
+	if !reflect.DeepEqual(results[0].Stats, results[16].Stats) {
+		t.Error("duplicate-model cells diverged despite sharing a lane")
+	}
+
+	// Every batched cell must match its standalone RunSpec byte-for-byte.
+	// Skipped under -race: 16 fresh single-lane drains are minutes of
+	// detector-amplified work, and batched-vs-single equivalence is
+	// already race-pinned by TestBatchMatchesSingle (make test-race).
+	if raceDetectorOn {
+		return
+	}
+	fresh := NewRunner()
+	for i := 0; i < len(points); i++ {
+		single, err := fresh.RunSpec(ctx, specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].Stats, single.Stats) {
+			t.Errorf("point %d (%s): batched stats diverged from RunSpec", i, points[i].CoordLabel())
+		}
+	}
+}
+
+// TestRunSpecsGeometrySplit: cells whose icache geometry differs land
+// in different drains, so the shared icache bits stay sound per group.
+func TestRunSpecsGeometrySplit(t *testing.T) {
+	small := machine.R10000()
+	small.ICacheBytes = 8 << 10
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := All()[0]
+	specs := []Spec{
+		{Workload: w, Scheme: SchemeTwoBit, Model: machine.R10000()},
+		{Workload: w, Scheme: SchemePerfect, Model: machine.R10000()},
+		{Workload: w, Scheme: SchemeTwoBit, Model: small},
+	}
+	r := NewRunner()
+	results, err := r.RunSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.TraceDrains(); got != 2 {
+		t.Errorf("TraceDrains = %d, want 2 (one per icache geometry)", got)
+	}
+	if got := r.SimLanes(); got != 3 {
+		t.Errorf("SimLanes = %d, want 3", got)
+	}
+	// The smaller icache can only miss more.
+	if results[2].Stats.ICacheMisses < results[0].Stats.ICacheMisses {
+		t.Errorf("8KB icache misses (%d) below 32KB (%d)",
+			results[2].Stats.ICacheMisses, results[0].Stats.ICacheMisses)
+	}
+}
+
+// TestRunSpecsSubgroupSplit: a grid bigger than MaxBatchLanes splits
+// into multiple drains of the same trace, keeping drains ≪ cells while
+// letting the sweep fan out across cores.
+func TestRunSpecsSubgroupSplit(t *testing.T) {
+	if raceDetectorOn {
+		// 40 full timing lanes is ~2 minutes under the detector, and the
+		// parallel-drain interleavings it would exercise are already
+		// covered at smaller scale by TestRunSpecsModelSweep and
+		// TestRunSpecsGeometrySplit.
+		t.Skip("subgroup split needs >MaxBatchLanes lanes; too slow under -race")
+	}
+	w := All()[0]
+	var specs []Spec
+	n := MaxBatchLanes + 8
+	for i := 0; i < n; i++ {
+		m := machine.R10000()
+		m.PredictorEntries = 16 << (i % 10) // vary the lane key
+		m.ActiveList = 16 + 4*i             // ...and the model so no two dedup
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, Spec{Workload: w, Scheme: SchemeTwoBit, Model: m})
+	}
+	r := NewRunner()
+	results, err := r.RunSpecs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	if got := r.TraceDrains(); got != 2 {
+		t.Errorf("TraceDrains = %d, want 2 (%d lanes split at %d per drain)", got, n, MaxBatchLanes)
+	}
+	if got := r.SimLanes(); got != int64(n) {
+		t.Errorf("SimLanes = %d, want %d", got, n)
 	}
 }
 

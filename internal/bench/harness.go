@@ -280,7 +280,7 @@ func (r *Runner) RunContext(ctx context.Context, w Workload, s Scheme) (Result, 
 		res.Report = rep
 	}
 
-	stats, err := r.simulate(ctx, p, w, pred)
+	stats, err := r.simulate(ctx, p, w, r.Model, pred)
 	if err != nil {
 		return res, err
 	}
@@ -293,7 +293,7 @@ func (r *Runner) RunContext(ctx context.Context, w Workload, s Scheme) (Result, 
 // interpreter, but with the architectural work amortized across every
 // simulation of the same program. ctx cancels the timing loop
 // cooperatively (pipeline.Config.Context).
-func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, pred predict.Predictor) (pipeline.Stats, error) {
+func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, m *machine.Model, pred predict.Predictor) (pipeline.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return pipeline.Stats{}, err
 	}
@@ -301,7 +301,7 @@ func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, pred
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	pipe, err := pipeline.New(pipeline.Config{Model: r.Model, Predictor: pred, Context: ctx})
+	pipe, err := pipeline.New(pipeline.Config{Model: m, Predictor: pred, Context: ctx})
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
@@ -339,7 +339,7 @@ func (r *Runner) RunProposedOptsContext(ctx context.Context, w Workload, opts co
 		return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
 	}
 	res.Report = rep
-	stats, err := r.simulate(ctx, p, w, predict.NewTwoBit(r.entries()))
+	stats, err := r.simulate(ctx, p, w, r.Model, predict.NewTwoBit(r.entries()))
 	if err != nil {
 		return res, err
 	}
@@ -356,12 +356,58 @@ func (r *Runner) RunProposedOptsContext(ctx context.Context, w Workload, opts co
 type Spec struct {
 	Workload Workload
 	Scheme   Scheme
-	// Entries overrides the 2-bit predictor table size for this call
-	// only; 0 uses the Runner's configuration.
+	// Entries overrides the predictor table size for this call only;
+	// 0 uses the Model's (when set) or the Runner's configuration.
 	Entries int
 	// Opt, when non-nil, replaces the workload's optimizer options.
 	// Only meaningful for SchemeProposed.
 	Opt *core.Options
+	// Model, when non-nil, replaces the Runner's machine model for this
+	// cell: timing simulation, optimizer legality and predictor family
+	// (Model.Predictor; SchemePerfect still forces the oracle) all come
+	// from it. Callers must pass Validate-clean models built through
+	// Clone — a sweep cell must never alias the Runner's model. Cells
+	// with different models still share the profile and trace caches:
+	// the architectural run is model-independent.
+	Model *machine.Model
+}
+
+// specModel resolves the model a spec simulates on.
+func (r *Runner) specModel(spec Spec) *machine.Model {
+	if spec.Model != nil {
+		return spec.Model
+	}
+	return r.Model
+}
+
+// specEntries resolves a spec's predictor table size against its model.
+func (r *Runner) specEntries(spec Spec, m *machine.Model) int {
+	if spec.Entries > 0 {
+		return spec.Entries
+	}
+	if spec.Model != nil {
+		return m.PredictorEntries
+	}
+	return r.entries()
+}
+
+// buildPredictor constructs the predictor a (model, scheme, entries)
+// cell simulates with. SchemePerfect forces the oracle regardless of
+// family; otherwise the model's Predictor decides — the zero value
+// PredTwoBit keeps the paper's scheme, so default-model cells are
+// byte-identical to the pre-model-field runner (pinned by the golden
+// tests).
+func buildPredictor(m *machine.Model, s Scheme, entries int) predict.Predictor {
+	if s == SchemePerfect {
+		return predict.NewPerfect()
+	}
+	switch m.Predictor {
+	case machine.PredGShare:
+		return predict.NewGShare(entries, uint(m.HistoryBits))
+	case machine.PredPerfect:
+		return predict.NewPerfect()
+	}
+	return predict.NewTwoBit(entries)
 }
 
 // RunSpec simulates one Spec with cancellation (see RunContext for the
@@ -373,10 +419,8 @@ func (r *Runner) RunSpec(ctx context.Context, spec Spec) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
-	entries := spec.Entries
-	if entries <= 0 {
-		entries = r.entries()
-	}
+	m := r.specModel(spec)
+	entries := r.specEntries(spec, m)
 	prof, err := r.ProfileOf(w)
 	if err != nil {
 		return res, err
@@ -384,19 +428,14 @@ func (r *Runner) RunSpec(ctx context.Context, spec Spec) (Result, error) {
 	res.Profile = prof
 
 	p := w.Build()
-	var pred predict.Predictor
 	switch spec.Scheme {
-	case SchemeTwoBit:
-		pred = predict.NewTwoBit(entries)
-	case SchemePerfect:
-		pred = predict.NewPerfect()
+	case SchemeTwoBit, SchemePerfect:
 	case SchemeProposed:
-		pred = predict.NewTwoBit(entries)
 		opts := w.Opt
 		if spec.Opt != nil {
 			opts = *spec.Opt
 		}
-		rep, err := core.Optimize(p, prof, r.Model, opts)
+		rep, err := core.Optimize(p, prof, m, opts)
 		if err != nil {
 			return res, fmt.Errorf("bench: optimizing %s: %w", w.Name, err)
 		}
@@ -405,7 +444,7 @@ func (r *Runner) RunSpec(ctx context.Context, spec Spec) (Result, error) {
 		return res, fmt.Errorf("bench: unknown scheme %d", spec.Scheme)
 	}
 
-	stats, err := r.simulate(ctx, p, w, pred)
+	stats, err := r.simulate(ctx, p, w, m, buildPredictor(m, spec.Scheme, entries))
 	if err != nil {
 		return res, err
 	}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector. The bench suite runs full timing simulations, which
+// the detector slows ~20×; the heaviest sweep tests shed their
+// redundant halves under -race so the package stays inside the test
+// timeout on small machines (see race_on_test.go).
+const raceDetectorOn = false

@@ -1,0 +1,24 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatReport renders the sweep summary: the Pareto frontier table
+// (ascending cost, each row strictly faster than the last) followed by
+// the batching economics, in the same fixed-column style as the paper
+// tables in internal/bench.
+func FormatReport(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pareto frontier: IPC (harmonic mean over %s) vs. hardware cost — scheme %s, %d/%d points\n",
+		strings.Join(rep.Workloads, ","), rep.Scheme, len(rep.Frontier), len(rep.Points))
+	fmt.Fprintf(&b, "%8s %8s   %s\n", "Cost", "IPC", "Configuration")
+	for _, i := range rep.Frontier {
+		p := &rep.Points[i]
+		fmt.Fprintf(&b, "%8d %8.4f   %s\n", p.Cost, p.IPC, p.Label())
+	}
+	fmt.Fprintf(&b, "cells=%d drains=%d lanes=%d arch_runs=%d lanes/drain=%.2f\n",
+		rep.Cells, rep.TraceDrains, rep.SimLanes, rep.ArchRuns, rep.LanesPerDrain)
+	return b.String()
+}

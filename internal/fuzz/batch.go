@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"specguard/internal/interp"
+	"specguard/internal/machine"
 	"specguard/internal/pipeline"
 	"specguard/internal/predict"
 	"specguard/internal/prog"
@@ -15,11 +16,13 @@ import (
 // pipeline.Batch over one packed-trace drain must produce, for every
 // lane, Stats byte-identical to a standalone single-lane run of the
 // same configuration over a fresh drain of the same trace. The lane
-// count (2–4) and the mix of configurations (two-bit table sizes plus
-// an occasional perfect-prediction lane) derive from the program
-// fingerprint, so every fuzz seed exercises a different deterministic
-// mix. Both paths run with SelfCheck audits on, which also exercises
-// the batched lane-isolation invariants.
+// count (2–4), the mix of predictor configurations (two-bit table
+// sizes plus an occasional perfect-prediction lane) and per-lane
+// machine-model variants (narrow fetch, shallow ROB, throttled fetch
+// rate — all Validate-legal derivations of the oracle's base model)
+// derive from the program fingerprint, so every fuzz seed exercises a
+// different deterministic mix. Both paths run with SelfCheck audits
+// on, which also exercises the batched lane-isolation invariants.
 //
 // Stable check names:
 //
@@ -55,6 +58,33 @@ func (o *Oracle) CheckBatch(p *prog.Program) error {
 		}
 	}
 
+	// Per-lane machine-model variants, also fingerprint-derived. Every
+	// variant is a Clone of the oracle's base model and stays
+	// Validate-legal against the R10000 defaults (queues 16 ≥ any width
+	// used here, ActiveList 16 ≥ width 4).
+	models := make([]*machine.Model, lanes)
+	for i := range models {
+		m := o.Model
+		switch (h >> (5*uint(i) + 3)) % 4 {
+		case 1:
+			m = m.Clone()
+			m.IssueWidth = 2
+		case 2:
+			m = m.Clone()
+			m.ActiveList = 16
+			m.RenameRegs = 16
+		case 3:
+			m = m.Clone()
+			m.ThrottledFetchWidth = 1
+		}
+		if m != o.Model {
+			if err := m.Validate(); err != nil {
+				return fail("batch-run", "lane %d model variant invalid: %v", i, err)
+			}
+		}
+		models[i] = m
+	}
+
 	newPreds := func() []predict.Predictor {
 		tb := predict.NewTwoBitLanes(sizes)
 		out := make([]predict.Predictor, lanes)
@@ -69,13 +99,13 @@ func (o *Oracle) CheckBatch(p *prog.Program) error {
 		}
 		return out
 	}
-	config := func(pred predict.Predictor) pipeline.Config {
-		return pipeline.Config{Model: o.Model, Predictor: pred, SelfCheck: true}
+	config := func(i int, pred predict.Predictor) pipeline.Config {
+		return pipeline.Config{Model: models[i], Predictor: pred, SelfCheck: true}
 	}
 
 	cfgs := make([]pipeline.Config, lanes)
 	for i, pred := range newPreds() {
-		cfgs[i] = config(pred)
+		cfgs[i] = config(i, pred)
 	}
 	batch, err := pipeline.NewBatch(cfgs)
 	if err != nil {
@@ -89,7 +119,7 @@ func (o *Oracle) CheckBatch(p *prog.Program) error {
 	// Reference: each configuration standalone, fresh predictor state,
 	// fresh trace cursor.
 	for i, pred := range newPreds() {
-		single, err := pipeline.New(config(pred))
+		single, err := pipeline.New(config(i, pred))
 		if err != nil {
 			return fail("batch-single", "lane %d: %v", i, err)
 		}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// An Axis names one model parameter and the values a sweep should try
+// for it. Values are ints for every axis; the predictor axis uses
+// int(PredKind) (see ParsePredKind for the string spellings).
+type Axis struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// Coord records one axis assignment of an expanded grid point.
+type Coord struct {
+	Name  string `json:"name"`
+	Value int    `json:"value"`
+}
+
+// Point is one cell of an expanded grid: a validated model plus the
+// coordinates that produced it from the base.
+type Point struct {
+	Model  *Model
+	Coords []Coord
+}
+
+// setters maps axis names onto model fields. Adding an axis here is the
+// whole job: Apply, Expand, AxisNames and the CLI grammar all read this
+// table.
+var setters = map[string]func(*Model, int){
+	"fetch_width":        func(m *Model, v int) { m.IssueWidth = v },
+	"int_queue":          func(m *Model, v int) { m.IntQueue = v },
+	"addr_queue":         func(m *Model, v int) { m.AddrQueue = v },
+	"fp_queue":           func(m *Model, v int) { m.FPQueue = v },
+	"branch_stack":       func(m *Model, v int) { m.BranchStack = v },
+	"active_list":        func(m *Model, v int) { m.ActiveList = v },
+	"rename_regs":        func(m *Model, v int) { m.RenameRegs = v },
+	"predictor":          func(m *Model, v int) { m.Predictor = PredKind(v) },
+	"entries":            func(m *Model, v int) { m.PredictorEntries = v },
+	"history_bits":       func(m *Model, v int) { m.HistoryBits = v },
+	"miss_penalty":       func(m *Model, v int) { m.CacheMissPenalty = v },
+	"mispredict_penalty": func(m *Model, v int) { m.MispredictPenalty = v },
+	"throttle_width":     func(m *Model, v int) { m.ThrottledFetchWidth = v },
+	"icache_bytes":       func(m *Model, v int) { m.ICacheBytes = v },
+	"dcache_bytes":       func(m *Model, v int) { m.DCacheBytes = v },
+	"line_bytes":         func(m *Model, v int) { m.CacheLineBytes = v },
+}
+
+// AxisNames lists every sweepable axis, sorted, for error messages and
+// usage text.
+func AxisNames() []string {
+	names := make([]string, 0, len(setters))
+	for n := range setters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Apply sets the named axis to v on m, without validating the result
+// (Expand validates whole points so the error can name the full
+// coordinate). Unknown axis names are an error.
+func Apply(m *Model, name string, v int) error {
+	set, ok := setters[name]
+	if !ok {
+		return fmt.Errorf("machine: unknown axis %q (axes: %s)", name, strings.Join(AxisNames(), ", "))
+	}
+	set(m, v)
+	return nil
+}
+
+// Expand takes the cartesian product of the axes over a base model and
+// returns one validated Point per cell. The base itself is never
+// mutated — every point is built on its own Clone — and axes are applied
+// in the order given, so the first point is the base with each axis at
+// its first value. An axis with no values, a duplicate axis, an unknown
+// name, or a cell that fails Model.Validate is an error (the validation
+// error names the offending coordinates).
+func Expand(base *Model, axes []Axis) ([]Point, error) {
+	seen := make(map[string]bool, len(axes))
+	total := 1
+	for _, ax := range axes {
+		if _, ok := setters[ax.Name]; !ok {
+			return nil, fmt.Errorf("machine: unknown axis %q (axes: %s)", ax.Name, strings.Join(AxisNames(), ", "))
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("machine: axis %q listed twice", ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("machine: axis %q has no values", ax.Name)
+		}
+		total *= len(ax.Values)
+	}
+
+	points := make([]Point, 0, total)
+	idx := make([]int, len(axes))
+	for {
+		m := base.Clone()
+		coords := make([]Coord, len(axes))
+		for i, ax := range axes {
+			v := ax.Values[idx[i]]
+			setters[ax.Name](m, v)
+			coords[i] = Coord{Name: ax.Name, Value: v}
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (at %s)", err, coordString(coords))
+		}
+		points = append(points, Point{Model: m, Coords: coords})
+
+		// Odometer increment, last axis fastest.
+		i := len(axes) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return points, nil
+}
+
+func coordString(coords []Coord) string {
+	if len(coords) == 0 {
+		return "base point"
+	}
+	parts := make([]string, len(coords))
+	for i, c := range coords {
+		if c.Name == "predictor" {
+			parts[i] = fmt.Sprintf("%s=%s", c.Name, PredKind(c.Value))
+		} else {
+			parts[i] = fmt.Sprintf("%s=%d", c.Name, c.Value)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// CoordLabel renders a point's coordinates for report tables.
+func (p Point) CoordLabel() string { return coordString(p.Coords) }

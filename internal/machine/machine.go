@@ -6,7 +6,58 @@
 // the paper's §6.
 package machine
 
-import "specguard/internal/isa"
+import (
+	"fmt"
+	"strings"
+
+	"specguard/internal/isa"
+)
+
+// PredKind names a branch-predictor family. It lives here (rather than
+// in internal/predict) so a Model is a complete, serializable machine
+// description: the timing harness builds the concrete predictor from
+// the pair (Predictor, PredictorEntries, HistoryBits).
+type PredKind int
+
+const (
+	// PredTwoBit is the R10000's per-branch 2-bit counter table — the
+	// zero value, so existing models keep the paper's scheme.
+	PredTwoBit PredKind = iota
+	// PredGShare is a global-history correlating predictor
+	// (pc XOR history indexed 2-bit counters).
+	PredGShare
+	// PredPerfect is the oracle bound: every control transfer,
+	// indirect classes included, predicts correctly.
+	PredPerfect
+
+	numPredKinds
+)
+
+// String names the family as the axis grammar and the HTTP API spell it.
+func (k PredKind) String() string {
+	switch k {
+	case PredTwoBit:
+		return "2bit"
+	case PredGShare:
+		return "gshare"
+	case PredPerfect:
+		return "perfect"
+	}
+	return fmt.Sprintf("predkind(%d)", int(k))
+}
+
+// ParsePredKind maps the accepted spellings onto a PredKind.
+func ParsePredKind(s string) (PredKind, error) {
+	switch strings.ReplaceAll(strings.ToLower(s), "-", "") {
+	case "2bit", "2bitbp", "twobit", "twobitbp":
+		return PredTwoBit, nil
+	case "gshare":
+		return PredGShare, nil
+	case "perfect", "perfectbp":
+		return PredPerfect, nil
+	}
+	return 0, fmt.Errorf("machine: unknown predictor family %q (want 2bit, gshare or perfect)", s)
+}
 
 // Model describes the target machine.
 type Model struct {
@@ -42,6 +93,20 @@ type Model struct {
 
 	// Predictor geometry: 512-entry 2-bit counter table.
 	PredictorEntries int
+
+	// Predictor selects the branch-predictor family the table implements
+	// (the zero value is the paper's 2-bit scheme). HistoryBits is the
+	// gshare global-history length; ignored by the other families.
+	Predictor   PredKind
+	HistoryBits int
+
+	// ThrottledFetchWidth, when positive, enables the variable
+	// fetch-rate front end: while any predicted-taken branch is in
+	// flight (fetched but not yet resolved), fetch is limited to this
+	// many instructions per cycle instead of IssueWidth — the throttled
+	// mode of "Variable Instruction Fetch Rate to Reduce Control
+	// Dependent Penalties". 0 keeps the fixed-rate front end.
+	ThrottledFetchWidth int
 
 	// MispredictPenalty is the recovery bubble after a resolved
 	// misprediction, beyond waiting for resolution itself (the
@@ -121,7 +186,11 @@ func (m *Model) Latency(op isa.Op) int {
 func (m *Model) UnitCount(u isa.UnitClass) int { return m.Units[u] }
 
 // Clone returns an independent copy of the model, for ablation sweeps
-// that vary one parameter.
+// that vary one parameter. The Units map is copied deeply: a by-value
+// Model copy shares the map, so a sweep variant mutating unit counts
+// through a shallow copy would silently corrupt every other variant
+// derived from the same base. Every derived model must come through
+// here.
 func (m *Model) Clone() *Model {
 	c := *m
 	c.Units = make(map[isa.UnitClass]int, len(m.Units))
@@ -129,4 +198,116 @@ func (m *Model) Clone() *Model {
 		c.Units[k] = v
 	}
 	return &c
+}
+
+// pow2 reports whether n is a positive power of two.
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// MaxPredictorEntries bounds predictor table sizes everywhere a size is
+// accepted (Validate, the sweep axes, the HTTP API): 2^24 two-bit
+// counters is already far beyond any plausible table and small enough
+// that a hostile request cannot allocate its way to an OOM.
+const MaxPredictorEntries = 1 << 24
+
+// Validate checks every axis of the model and returns an error naming
+// the first offending field, or nil. A Model that passes is safe to
+// hand to the pipeline: positive widths, queues deep enough to accept
+// one full dispatch group, power-of-two cache geometry, and a
+// predictor configuration its family can realize.
+func (m *Model) Validate() error {
+	if m.IssueWidth < 1 {
+		return fmt.Errorf("machine: fetch_width must be positive, got %d", m.IssueWidth)
+	}
+	for u := isa.UnitClass(1); u < isa.NumUnitClasses; u++ {
+		if m.Units[u] < 1 {
+			return fmt.Errorf("machine: units[%s] must be positive, got %d", u, m.Units[u])
+		}
+	}
+	for _, l := range []struct {
+		name string
+		v    int
+	}{
+		{"alu_lat", m.AluLat}, {"shift_lat", m.ShiftLat}, {"ldst_lat", m.LdStLat},
+		{"fpadd_lat", m.FPAddLat}, {"fpmul_lat", m.FPMulLat}, {"fpdiv_lat", m.FPDivLat},
+		{"mul_lat", m.MulLat}, {"div_lat", m.DivLat}, {"branch_lat", m.BranchLat},
+	} {
+		if l.v < 1 {
+			return fmt.Errorf("machine: %s must be positive, got %d", l.name, l.v)
+		}
+	}
+	if m.CacheMissPenalty < 0 {
+		return fmt.Errorf("machine: miss_penalty must be non-negative, got %d", m.CacheMissPenalty)
+	}
+	if m.MispredictPenalty < 0 {
+		return fmt.Errorf("machine: mispredict_penalty must be non-negative, got %d", m.MispredictPenalty)
+	}
+	for _, q := range []struct {
+		name string
+		v    int
+	}{{"int_queue", m.IntQueue}, {"addr_queue", m.AddrQueue}, {"fp_queue", m.FPQueue}} {
+		if q.v < m.IssueWidth {
+			return fmt.Errorf("machine: %s (%d) must be at least the issue width (%d)", q.name, q.v, m.IssueWidth)
+		}
+	}
+	if m.BranchStack < 1 {
+		return fmt.Errorf("machine: branch_stack must be positive, got %d", m.BranchStack)
+	}
+	if m.ActiveList < m.IssueWidth {
+		return fmt.Errorf("machine: active_list (%d) must be at least the issue width (%d)", m.ActiveList, m.IssueWidth)
+	}
+	if m.RenameRegs < 1 {
+		return fmt.Errorf("machine: rename_regs must be positive, got %d", m.RenameRegs)
+	}
+	if m.PredictorEntries < 1 || m.PredictorEntries > MaxPredictorEntries {
+		return fmt.Errorf("machine: entries must be in [1, %d], got %d", MaxPredictorEntries, m.PredictorEntries)
+	}
+	if m.Predictor < 0 || m.Predictor >= numPredKinds {
+		return fmt.Errorf("machine: predictor %d is not a known family", int(m.Predictor))
+	}
+	if m.Predictor == PredGShare && !pow2(m.PredictorEntries) {
+		return fmt.Errorf("machine: gshare entries must be a power of two, got %d", m.PredictorEntries)
+	}
+	if m.HistoryBits < 0 || m.HistoryBits > 24 {
+		return fmt.Errorf("machine: history_bits must be in [0, 24], got %d", m.HistoryBits)
+	}
+	if !pow2(m.CacheLineBytes) {
+		return fmt.Errorf("machine: line_bytes must be a power of two, got %d", m.CacheLineBytes)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"icache_bytes", m.ICacheBytes}, {"dcache_bytes", m.DCacheBytes}} {
+		if !pow2(c.v) || c.v < m.CacheLineBytes {
+			return fmt.Errorf("machine: %s must be a power of two no smaller than line_bytes, got %d", c.name, c.v)
+		}
+	}
+	if m.ThrottledFetchWidth < 0 || m.ThrottledFetchWidth > m.IssueWidth {
+		return fmt.Errorf("machine: throttle_width must be in [0, fetch_width=%d], got %d", m.IssueWidth, m.ThrottledFetchWidth)
+	}
+	return nil
+}
+
+// Key renders the complete configuration as a canonical string: two
+// models describe the same machine iff their Keys are equal. Sweep
+// machinery uses it to share simulation lanes between duplicate points
+// and to extend content-addressed result identities with the machine
+// configuration.
+func (m *Model) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w%d|u", m.IssueWidth)
+	for u := isa.UnitClass(1); u < isa.NumUnitClasses; u++ {
+		if u > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", m.Units[u])
+	}
+	fmt.Fprintf(&b, "|l%d,%d,%d,%d,%d,%d,%d,%d,%d",
+		m.AluLat, m.ShiftLat, m.LdStLat, m.FPAddLat, m.FPMulLat, m.FPDivLat,
+		m.MulLat, m.DivLat, m.BranchLat)
+	fmt.Fprintf(&b, "|mp%d|q%d,%d,%d,%d|al%d|rr%d|pe%d|pk%d|hb%d|bp%d|ic%d|dc%d|cl%d|tw%d",
+		m.CacheMissPenalty, m.IntQueue, m.AddrQueue, m.FPQueue, m.BranchStack,
+		m.ActiveList, m.RenameRegs, m.PredictorEntries, int(m.Predictor), m.HistoryBits,
+		m.MispredictPenalty, m.ICacheBytes, m.DCacheBytes, m.CacheLineBytes,
+		m.ThrottledFetchWidth)
+	return b.String()
 }

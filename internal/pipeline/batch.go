@@ -249,6 +249,14 @@ func (w *window) prepare(slot *winEvent, seq int64) error {
 	return nil
 }
 
+// throttleIdxBit marks a queued window index as a predicted-taken
+// conditional branch (the variable fetch-rate trigger). The prediction
+// is lane-local and made at fetch, but the entry flag is needed at
+// dispatch — and the shared window cannot carry per-lane state — so the
+// flag rides in a high bit of the lane's own queued cursor (window
+// indices are trace positions, far below 2^62).
+const throttleIdxBit = int64(1) << 62
+
 // idxRing is a fixed-capacity FIFO of window indices — the batched
 // path's fetch buffer. The decoded instruction lives in the shared
 // window, so lanes queue bare cursors instead of copied events.
@@ -416,7 +424,8 @@ func (p *Pipeline) runBatch() (bool, error) {
 		// ---- Fetch from the shared window (same gating and break
 		// conditions as the single-lane loop). ----
 		if !rs.traceDone && rs.fetchStalledOn < 0 && rs.cycle >= rs.fetchResumeAt {
-			for ; rs.fetched < m.IssueWidth && p.bfbuf.len() < p.cfg.FetchBufferSize; rs.fetched++ {
+			width := p.fetchWidth()
+			for ; rs.fetched < width && p.bfbuf.len() < p.cfg.FetchBufferSize; rs.fetched++ {
 				if p.cur == w.frontier {
 					if !w.eof {
 						// Park mid-fetch until the window refills.
@@ -440,14 +449,14 @@ func (p *Pipeline) runBatch() (bool, error) {
 					rs.fetchResumeAt = rs.cycle + int64(m.CacheMissPenalty)
 					// The missing instruction still enters the buffer
 					// (its line is now resident); fetch pauses after it.
-					if slot.ctl != predict.ClassNone {
-						p.batchPredict(slot, idx)
+					if slot.ctl != predict.ClassNone && p.batchPredict(slot, idx) {
+						idx |= throttleIdxBit
 					}
 					p.bfbuf.push(idx)
 					break
 				}
-				if slot.ctl != predict.ClassNone {
-					p.batchPredict(slot, idx)
+				if slot.ctl != predict.ClassNone && p.batchPredict(slot, idx) {
+					idx |= throttleIdxBit
 				}
 				p.bfbuf.push(idx)
 				if rs.fetchStalledOn >= 0 {
@@ -476,16 +485,23 @@ func (p *Pipeline) runBatch() (bool, error) {
 // batchPredict mirrors decodeFetch against a shared window slot: it
 // consults the lane's predictor and records stalls/mispredicts. The
 // sequence number is the window index, so lanes agree on instruction
-// identity by construction.
-func (p *Pipeline) batchPredict(slot *winEvent, idx int64) {
+// identity by construction. It reports whether the slot is a
+// predicted-taken conditional branch (the caller tags the queued cursor
+// with throttleIdxBit so dispatch can hand the flag to the entry).
+func (p *Pipeline) batchPredict(slot *winEvent, idx int64) (throttle bool) {
 	if slot.ctl == predict.ClassNone {
-		return
+		return false
 	}
 	var out predict.Outcome
 	if tb := p.predTB; tb != nil {
 		out = tb.PredictClass(slot.ctl, slot.ev.Addr, slot.ev.Taken)
 	} else {
 		out = p.pred.Predict(slot.ev.Addr, slot.op, slot.ev.Taken)
+	}
+	if !out.Stall && out.PredictTaken && slot.isCond {
+		// See decodeFetch: counted even at full width.
+		throttle = true
+		p.rs.unconfirmed++
 	}
 	switch {
 	case out.Stall:
@@ -501,6 +517,7 @@ func (p *Pipeline) batchPredict(slot *winEvent, idx int64) {
 		}
 		p.rs.fetchStalledOn = idx
 	}
+	return throttle
 }
 
 // batchDispatch is the batched dispatch stage: identical structure to
@@ -519,6 +536,8 @@ func (p *Pipeline) batchDispatch() {
 	dispatched := 0
 	for p.bfbuf.len() > 0 && dispatched < p.model.IssueWidth {
 		idx := p.bfbuf.front()
+		throttle := idx&throttleIdxBit != 0
+		idx &^= throttleIdxBit
 		if p.rob.full() {
 			break
 		}
@@ -542,6 +561,7 @@ func (p *Pipeline) batchDispatch() {
 		e.fpDest = slot.fpRename
 		e.op = slot.op
 		e.isCond = slot.isCond
+		e.throttle = throttle
 		e.taken = slot.ev.Taken
 		e.annulled = slot.ev.Annulled
 		e.memAccess = slot.memAccess

@@ -208,7 +208,7 @@ func (p *Pipeline) checkBatchLane(fail func(string, ...any) error) error {
 		return fail("batch lane cursor %d beyond window frontier %d", p.cur, w.frontier)
 	}
 	if n := p.bfbuf.len(); n > 0 {
-		if got, want := p.bfbuf.front(), p.cur-int64(n); got != want {
+		if got, want := p.bfbuf.front()&^throttleIdxBit, p.cur-int64(n); got != want {
 			return fail("batch fetch buffer front index %d, want %d (cursor %d − occupancy %d)", got, want, p.cur, n)
 		}
 	}
@@ -297,6 +297,9 @@ func (p *Pipeline) checkDrained(cycle int64) error {
 	if intRenames != p.model.RenameRegs || fpRenames != p.model.RenameRegs {
 		return fail("rename pools not restored: int=%d fp=%d want %d",
 			intRenames, fpRenames, p.model.RenameRegs)
+	}
+	if n := p.rs.unconfirmed; n != 0 {
+		return fail("fetch throttle leaked: %d predicted-taken branches still unconfirmed", n)
 	}
 	return p.checkInvariants(cycle)
 }

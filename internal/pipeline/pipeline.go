@@ -166,6 +166,7 @@ type entry struct {
 
 	op        isa.Op
 	isCond    bool // op.IsCondBranch(), consulted at complete and commit
+	throttle  bool // predicted-taken cond branch: holds the fetch throttle until it resolves
 	taken     bool
 	annulled  bool
 	memAccess bool // IsMem && !Annulled
@@ -199,6 +200,7 @@ type fetchItem struct {
 
 	mispredicted bool // fetched with a wrong direction prediction
 	indirect     bool // stalled fetch until resolution (non-BTB class)
+	throttle     bool // predicted-taken cond branch (variable fetch-rate trigger)
 }
 
 // runState is the per-run cycle-local bookkeeping, hoisted from Run's
@@ -222,6 +224,15 @@ type runState struct {
 
 	fetched int  // instructions fetched so far this cycle (batch resume point)
 	inFetch bool // lane is parked mid-fetch waiting for the window to refill
+
+	// unconfirmed counts predicted-taken conditional branches in flight
+	// (fetched, not yet resolved). When Model.ThrottledFetchWidth is
+	// positive and this is non-zero, fetch runs at the throttled width —
+	// the variable fetch-rate front end. The count moves only at decode
+	// (+1) and branch completion (−1), both outside the mid-fetch park
+	// window, so a parked lane resumes with the width it started the
+	// group with.
+	unconfirmed int
 
 	// readyMask has bit u set when ready[u] may be non-empty, so the
 	// issue stage visits only live unit classes instead of scanning all
@@ -434,7 +445,8 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		// ---- Fetch: up to IssueWidth, stopping at predicted-taken
 		// branches, stalls and I-cache misses. ----
 		if !rs.traceDone && rs.fetchStalledOn < 0 && rs.cycle >= rs.fetchResumeAt {
-			for fetched := 0; fetched < m.IssueWidth && p.fbuf.len() < p.cfg.FetchBufferSize; fetched++ {
+			width := p.fetchWidth()
+			for fetched := 0; fetched < width && p.fbuf.len() < p.cfg.FetchBufferSize; fetched++ {
 				// Decode straight into the ring slot; unpush if the
 				// trace turns out to be exhausted.
 				it := p.fbuf.pushSlot()
@@ -490,6 +502,21 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 	return *s, nil
 }
 
+// fetchWidth returns this cycle's fetch bound: the throttled width
+// while any predicted-taken conditional branch is unconfirmed, else the
+// full issue width. With ThrottledFetchWidth == 0 (the default) this is
+// always IssueWidth, so fixed-rate models are untouched. A mid-group
+// predicted-taken branch cannot extend the group past itself — a
+// correctly predicted taken branch hits the taken-branch fetch break
+// and a mispredicted one stalls fetch — so sampling the width once at
+// the start of the group is exact.
+func (p *Pipeline) fetchWidth() int {
+	if t := p.model.ThrottledFetchWidth; t > 0 && p.rs.unconfirmed > 0 {
+		return t
+	}
+	return p.model.IssueWidth
+}
+
 // stageComplete finishes execution and resolves branches: it drains
 // this cycle's wheel bucket in program order and wakes dependents whose
 // last producer just finished.
@@ -506,6 +533,9 @@ func (p *Pipeline) stageComplete() {
 			rs.queueUsed[QBranch]--
 			e.inQueue = false
 			p.stats.QueueOccupancy[QBranch] += rs.cycle - e.qEnter
+		}
+		if e.throttle {
+			rs.unconfirmed-- // the branch resolved; fetch may widen next cycle
 		}
 		if e.isCond {
 			// Devirtualized for the common TwoBit predictor; the opcode's
@@ -683,6 +713,7 @@ func (p *Pipeline) stageDispatch() {
 		e.fpDest = fp
 		e.op = op
 		e.isCond = op.IsCondBranch()
+		e.throttle = item.throttle
 		e.taken = item.ev.Taken
 		e.annulled = item.ev.Annulled
 		e.memAccess = item.ev.IsMem && !item.ev.Annulled
@@ -789,6 +820,7 @@ func (p *Pipeline) decodeFetch(it *fetchItem) {
 	rs.seq++
 	it.mispredicted = false
 	it.indirect = false
+	it.throttle = false
 	ev := &it.ev
 	op := ev.Instr.Op
 	cls := opMetaTab[op].ctl // == predict.Classify(op), one indexed load
@@ -800,6 +832,14 @@ func (p *Pipeline) decodeFetch(it *fetchItem) {
 		out = tb.PredictClass(cls, ev.Addr, ev.Taken)
 	} else {
 		out = p.pred.Predict(ev.Addr, op, ev.Taken)
+	}
+	if !out.Stall && out.PredictTaken && opMetaTab[op].isCond {
+		// Predicted-taken conditional branch: under the variable
+		// fetch-rate front end, fetch narrows until it resolves. The
+		// count is kept even at full width so enabling the throttle is
+		// purely a fetch-bound change.
+		it.throttle = true
+		rs.unconfirmed++
 	}
 	switch {
 	case out.Stall:

@@ -13,6 +13,8 @@ import (
 
 	"specguard/internal/bench"
 	"specguard/internal/buildinfo"
+	"specguard/internal/explore"
+	"specguard/internal/machine"
 )
 
 // Handler returns the service's HTTP surface:
@@ -23,6 +25,9 @@ import (
 //	GET  /v1/run     same via query params (workload, scheme, entries)
 //	GET  /v1/sweep   the full table sweep (all workloads × schemes),
 //	                 streamed as NDJSON in completion order
+//	POST /v1/explore design-space sweep: an axis grid over the machine
+//	                 model, streamed as NDJSON (one line per grid point,
+//	                 then a Pareto/batching summary line)
 //	GET  /healthz    200 ok / 503 draining
 //	GET  /metrics    Prometheus text exposition
 //	GET  /version    build metadata
@@ -31,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/explore", s.handleExplore)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/version", s.handleVersion)
@@ -53,7 +59,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.As(err, &bad):
 		httpError(w, http.StatusBadRequest, "%v", bad.Err)
 	case errors.As(err, &over):
-		w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+		// Round up: Retry-After is whole seconds, and truncating a
+		// sub-second backoff to "0" tells well-behaved clients to hammer
+		// the queue that just shed them.
+		secs := int64((over.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		httpError(w, http.StatusTooManyRequests, "%v", over)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "10")
@@ -142,6 +155,10 @@ type streamEvent struct {
 	Event  string       `json:"event"`
 	Error  string       `json:"error,omitempty"`
 	Result *RunResponse `json:"result,omitempty"`
+	// Explore payloads: Point on per-grid-point lines, Report on the
+	// terminal summary line.
+	Point  *explore.Point  `json:"point,omitempty"`
+	Report *exploreSummary `json:"report,omitempty"`
 }
 
 // ndjson writes one event line and flushes it to the client so
@@ -252,6 +269,118 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ndjson(w, streamEvent{Event: StageResult, Result: c.res})
+	}
+}
+
+// ExploreRequest is the JSON surface of /v1/explore: the axis grid to
+// expand over the service's base machine model, the workloads to time
+// each point on, and the scheme to run.
+type ExploreRequest struct {
+	// Axes expand into the cartesian grid (machine.AxisNames lists the
+	// valid names; the "predictor" axis takes int(machine.PredKind)).
+	Axes []machine.Axis `json:"axes"`
+	// Workloads defaults to the full registry when empty.
+	Workloads []string `json:"workloads,omitempty"`
+	// Scheme accepts the same spellings as /v1/run; default 2-bitBP.
+	Scheme string `json:"scheme,omitempty"`
+	// MaxPoints tightens (never widens past the server's default) the
+	// grid-size guard.
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// exploreSummary is the terminal /v1/explore line: the report without
+// its per-point bodies, which were already streamed one line each.
+type exploreSummary struct {
+	Scheme        string   `json:"scheme"`
+	Workloads     []string `json:"workloads"`
+	Points        int      `json:"points"`
+	Frontier      []int    `json:"frontier"`
+	Cells         int      `json:"cells"`
+	TraceDrains   int64    `json:"trace_drains"`
+	SimLanes      int64    `json:"sim_lanes"`
+	ArchRuns      int64    `json:"arch_runs"`
+	LanesPerDrain float64  `json:"lanes_per_drain"`
+}
+
+// handleExplore runs a design-space sweep and streams the result as
+// NDJSON: one "point" line per grid cell (coordinates, cost, IPC,
+// Pareto flag, per-workload stats) and a final "report" line with the
+// frontier indices and the drain/lane accounting. The whole grid is one
+// worker-pool job (DoExplore); backpressure sheds are retried until the
+// client gives up, like /v1/sweep. Errors before the first line carry
+// real status codes — a malformed grid is a 400, not a 200 with an
+// error event.
+func (s *Service) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var hreq ExploreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&hreq); err != nil {
+		s.metrics.Requests.Add(1)
+		s.metrics.BadRequests.Add(1)
+		writeErr(w, &ErrBadRequest{fmt.Errorf("decoding request body: %w", err)})
+		return
+	}
+	req := explore.Request{Axes: hreq.Axes, MaxPoints: hreq.MaxPoints}
+	if req.MaxPoints <= 0 || req.MaxPoints > explore.DefaultMaxPoints {
+		req.MaxPoints = explore.DefaultMaxPoints
+	}
+	if hreq.Scheme != "" {
+		scheme, err := ParseScheme(hreq.Scheme)
+		if err != nil {
+			s.metrics.Requests.Add(1)
+			s.metrics.BadRequests.Add(1)
+			writeErr(w, &ErrBadRequest{err})
+			return
+		}
+		req.Scheme = scheme
+	}
+	for _, name := range hreq.Workloads {
+		wl, err := bench.ByName(name)
+		if err != nil {
+			s.metrics.Requests.Add(1)
+			s.metrics.BadRequests.Add(1)
+			writeErr(w, &ErrBadRequest{err})
+			return
+		}
+		req.Workloads = append(req.Workloads, wl)
+	}
+
+	for {
+		rep, err := s.DoExplore(r.Context(), req)
+		var over *ErrOverloaded
+		if errors.As(err, &over) {
+			select {
+			case <-time.After(200 * time.Millisecond):
+				continue
+			case <-r.Context().Done():
+				writeErr(w, over)
+				return
+			}
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := range rep.Points {
+			ndjson(w, streamEvent{Event: "point", Point: &rep.Points[i]})
+		}
+		ndjson(w, streamEvent{Event: "report", Report: &exploreSummary{
+			Scheme:        rep.Scheme,
+			Workloads:     rep.Workloads,
+			Points:        len(rep.Points),
+			Frontier:      rep.Frontier,
+			Cells:         rep.Cells,
+			TraceDrains:   rep.TraceDrains,
+			SimLanes:      rep.SimLanes,
+			ArchRuns:      rep.ArchRuns,
+			LanesPerDrain: rep.LanesPerDrain,
+		}})
+		return
 	}
 }
 

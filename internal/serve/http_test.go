@@ -321,8 +321,198 @@ func TestHTTPBackpressureHeaders(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated POST = %d: %s", resp.StatusCode, data)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	// 1 worker, 1 queued job → (1 + 1/1) s. Exact, not just non-empty:
+	// the header used to truncate instead of round.
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("429 Retry-After = %q, want \"2\"", got)
+	}
+}
+
+// TestRetryAfterRoundsUp: sub-second backoffs must not truncate to
+// "0", which tells well-behaved clients to retry immediately.
+func TestRetryAfterRoundsUp(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+	} {
+		rec := httptest.NewRecorder()
+		writeErr(rec, &ErrOverloaded{RetryAfter: tc.d})
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("Retry-After(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPEntriesValidation: the predictor table size is allocated per
+// request, so the service must bound it — negative and absurd values
+// are 400s with a message naming the field, not an OOM.
+func TestHTTPEntriesValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, tc := range []struct {
+		url  string
+		want string
+	}{
+		{"/v1/run?workload=grep&scheme=2bit&entries=-1", "predictor_entries"},
+		{"/v1/run?workload=grep&scheme=2bit&entries=16777217", "predictor_entries"},
+		{"/v1/run?workload=grep&scheme=2bit&entries=99999999999", "predictor_entries"},
+		{"/v1/run?workload=grep&scheme=2bit&entries=banana", "bad entries"},
+	} {
+		resp, err := http.Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400: %s", tc.url, resp.StatusCode, data)
+			continue
+		}
+		var e map[string]string
+		if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e["error"], tc.want) {
+			t.Errorf("GET %s error %q does not name %q", tc.url, e["error"], tc.want)
+		}
+	}
+	// The cap itself is legal.
+	resp, data := postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit", PredictorEntries: 1 << 24, TimeoutMS: 60000})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("entries at cap = %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPMachineOverride: per-request machine models derive from the
+// service base via Clone+Validate, get their own store identity (the
+// |m= key segment), and invalid combinations are 400s.
+func TestHTTPMachineOverride(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, data := postRun(t, ts.URL, RunRequest{
+		Workload: "grep", Scheme: "2bit",
+		Machine:   map[string]int{"fetch_width": 2, "active_list": 16},
+		Predictor: "gshare",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("machine override POST = %d: %s", resp.StatusCode, data)
+	}
+	var narrow RunResponse
+	if err := json.Unmarshal(data, &narrow); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(narrow.Canonical, "|m=") {
+		t.Errorf("derived-model canonical %q missing |m= segment", narrow.Canonical)
+	}
+
+	resp, data = postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default POST = %d: %s", resp.StatusCode, data)
+	}
+	var def RunResponse
+	json.Unmarshal(data, &def)
+	if strings.Contains(def.Canonical, "|m=") {
+		t.Errorf("default-model canonical %q grew a |m= segment (store back-compat)", def.Canonical)
+	}
+	if def.Key == narrow.Key {
+		t.Error("derived model shares the default model's store key")
+	}
+	if def.Stats.Cycles >= narrow.Stats.Cycles {
+		t.Errorf("half-width machine not slower: default %d cycles, narrow %d", def.Stats.Cycles, narrow.Stats.Cycles)
+	}
+
+	// Same override again: a store hit under the model-specific key.
+	resp, data = postRun(t, ts.URL, RunRequest{
+		Workload: "grep", Scheme: "2bit",
+		Machine:   map[string]int{"active_list": 16, "fetch_width": 2},
+		Predictor: "gshare",
+	})
+	var again RunResponse
+	json.Unmarshal(data, &again)
+	if again.Source != "store" || again.Key != narrow.Key {
+		t.Errorf("repeat override: source=%q key match=%t", again.Source, again.Key == narrow.Key)
+	}
+
+	for _, bad := range []RunRequest{
+		{Workload: "grep", Scheme: "2bit", Machine: map[string]int{"warp_factor": 9}},
+		{Workload: "grep", Scheme: "2bit", Machine: map[string]int{"fetch_width": 0}},
+		{Workload: "grep", Scheme: "2bit", Predictor: "neural"},
+		{Workload: "grep", Scheme: "2bit", Predictor: "gshare", PredictorEntries: 100},
+	} {
+		resp, data := postRun(t, ts.URL, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad override %+v = %d, want 400: %s", bad.Machine, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestHTTPExplore: a small grid through /v1/explore streams one NDJSON
+// line per point plus a summary whose drain accounting proves the
+// geometry-grouped batching, and malformed grids are 400s.
+func TestHTTPExplore(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := `{"axes":[{"name":"fetch_width","values":[2,4]},{"name":"entries","values":[256,512]}],"workloads":["grep"],"scheme":"2bit"}`
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/explore = %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var points, reports int
+	var sum *exploreSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "point":
+			points++
+			if ev.Point == nil || ev.Point.IPC <= 0 || len(ev.Point.Coords) != 2 {
+				t.Errorf("malformed point: %+v", ev.Point)
+			}
+		case "report":
+			reports++
+			sum = ev.Report
+		default:
+			t.Errorf("unexpected event %q", ev.Event)
+		}
+	}
+	if points != 4 || reports != 1 {
+		t.Fatalf("got %d points / %d reports, want 4 / 1", points, reports)
+	}
+	if len(sum.Frontier) == 0 {
+		t.Error("empty Pareto frontier")
+	}
+	if sum.Cells != 4 || sum.TraceDrains >= int64(sum.Cells) || sum.LanesPerDrain < 1 {
+		t.Errorf("batching accounting: cells=%d drains=%d lanes/drain=%g", sum.Cells, sum.TraceDrains, sum.LanesPerDrain)
+	}
+
+	for _, bad := range []string{
+		`{"axes":[{"name":"warp_factor","values":[9]}]}`,
+		`{"axes":[{"name":"fetch_width","values":[0]}]}`,
+		`{"axes":[{"name":"fetch_width","values":[2]}],"scheme":"nope"}`,
+		`{"axes":[{"name":"fetch_width","values":[2]}],"workloads":["no-such"]}`,
+		`{"axes":[{"name":"entries","values":[1,2,4,8,16,32,64,128,256]},{"name":"active_list","values":[32,33,34,35,36,37,38,39]},{"name":"int_queue","values":[16,17,18,19,20,21,22,23]},{"name":"fp_queue","values":[16,17,18,19,20,21,22,23]}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad explore body %s = %d, want 400: %s", bad, resp.StatusCode, data)
+		}
 	}
 }
 

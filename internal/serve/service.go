@@ -21,12 +21,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"specguard/internal/bench"
 	"specguard/internal/core"
+	"specguard/internal/explore"
+	"specguard/internal/machine"
 	"specguard/internal/pipeline"
 )
 
@@ -41,8 +44,20 @@ type RunRequest struct {
 	Scheme string `json:"scheme"`
 	// PredictorEntries overrides the 2-bit predictor table size;
 	// 0 means the machine model's size. Requests naming the default
-	// explicitly and implicitly share one identity.
+	// explicitly and implicitly share one identity. Capped at
+	// machine.MaxPredictorEntries — the table is allocated per lane, so
+	// an unbounded size would let one request exhaust the heap.
 	PredictorEntries int `json:"predictor_entries,omitempty"`
+	// Machine overrides individual machine-model axes on the service's
+	// base model (axis name → value; machine.AxisNames lists them).
+	// The derived model is cloned from the base and Validate-checked,
+	// so an inconsistent combination is a 400, not a panic in a worker.
+	Machine map[string]int `json:"machine,omitempty"`
+	// Predictor selects the branch predictor family for the derived
+	// model: "2bit", "gshare" or "perfect". Empty keeps the base
+	// family. (The PerfectBP *scheme* still overrides any family with
+	// the oracle, as in the paper's tables.)
+	Predictor string `json:"predictor,omitempty"`
 	// Opt overrides the optimizer options (Proposed scheme only); nil
 	// uses the workload's defaults.
 	Opt *OptRequest `json:"opt,omitempty"`
@@ -192,6 +207,14 @@ type flight struct {
 	// members are, and coalesce like any other flight.
 	group []*flight
 
+	// explore marks a design-space sweep job (DoExplore): one worker
+	// slot runs the whole grid through explore.Run, whose batched
+	// RunSpecs call does its own geometry grouping. Like a group
+	// leader it is never in s.flights — two identical grids re-expand
+	// (the per-cell trace caches still amortize the real cost).
+	explore    *explore.Request
+	exploreRep *explore.Report
+
 	done chan struct{} // closed when resp/err are set
 	resp *RunResponse
 	err  error
@@ -276,17 +299,31 @@ func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
 	if req.PredictorEntries < 0 {
 		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("predictor_entries must be ≥ 0, got %d", req.PredictorEntries)}
 	}
+	if req.PredictorEntries > machine.MaxPredictorEntries {
+		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("predictor_entries %d exceeds the maximum %d (1<<24)", req.PredictorEntries, machine.MaxPredictorEntries)}
+	}
 	if req.Opt != nil && scheme != bench.SchemeProposed {
 		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("optimizer options apply only to the Proposed scheme, not %s", scheme)}
 	}
+	model, err := s.deriveModel(req)
+	if err != nil {
+		return bench.Spec{}, "", &ErrBadRequest{err}
+	}
 	entries := req.PredictorEntries
 	if entries == 0 {
-		entries = s.runner.Model.PredictorEntries
+		if model != nil {
+			entries = model.PredictorEntries
+		} else {
+			entries = s.runner.Model.PredictorEntries
+		}
+	}
+	if model != nil && model.Predictor == machine.PredGShare && entries&(entries-1) != 0 {
+		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("gshare needs a power-of-two predictor_entries, got %d", entries)}
 	}
 	req.PredictorEntries = entries
 	req.Scheme = scheme.String()
 
-	spec := bench.Spec{Workload: w, Scheme: scheme, Entries: entries}
+	spec := bench.Spec{Workload: w, Scheme: scheme, Entries: entries, Model: model}
 	if req.Opt != nil {
 		opts := req.Opt.options()
 		spec.Opt = &opts
@@ -295,10 +332,50 @@ func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
 	// scheme, predictor) — plus the optimizer options that select the
 	// Proposed variant. The fingerprint is the *base* program's: the
 	// optimizer is deterministic, so base fingerprint + options
-	// determine the rewritten program without running it.
+	// determine the rewritten program without running it. The model
+	// segment is appended only when a model was derived, so every key
+	// minted before the machine/predictor fields existed still addresses
+	// the same stored result.
 	key := fmt.Sprintf("v%d|w=%s|fp=%016x|s=%s|e=%d|o=%s",
 		storeVersion, w.Name, w.Build().Fingerprint(), scheme, entries, req.Opt.canonical())
+	if model != nil {
+		key += "|m=" + model.Key()
+	}
 	return spec, key, nil
+}
+
+// deriveModel builds the per-request machine model from the Machine
+// and Predictor override fields, or returns nil when the request keeps
+// the service default. The base is always Cloned before mutation and
+// the result must pass machine.Validate.
+func (s *Service) deriveModel(req *RunRequest) (*machine.Model, error) {
+	if len(req.Machine) == 0 && req.Predictor == "" {
+		return nil, nil
+	}
+	m := s.runner.Model.Clone()
+	if req.Predictor != "" {
+		pk, err := machine.ParsePredKind(req.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		m.Predictor = pk
+	}
+	// Apply in sorted order so key derivation (and error messages) are
+	// deterministic regardless of JSON map iteration.
+	names := make([]string, 0, len(req.Machine))
+	for n := range req.Machine {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := machine.Apply(m, n, req.Machine[n]); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Stage names reported to Do's notify callback, in the order a request
@@ -435,6 +512,10 @@ func (s *Service) runFlight(f *flight) {
 		s.runGroupFlight(f)
 		return
 	}
+	if f.explore != nil {
+		s.runExploreFlight(f)
+		return
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.flights, f.key)
@@ -547,6 +628,67 @@ func (s *Service) runGroupFlight(f *flight) {
 				s.metrics.StoreWrites.Add(1)
 			}
 		}
+	}
+}
+
+// runExploreFlight executes one design-space sweep in its worker slot.
+// The grid's cells count as simulations in the metrics — they are, the
+// batching just packs them onto fewer drains.
+func (s *Service) runExploreFlight(f *flight) {
+	defer close(f.done)
+	ctx, cancel := context.WithTimeout(s.baseCtx, f.timeout)
+	defer cancel()
+	start := time.Now()
+	rep, err := explore.Run(ctx, s.runner, *f.explore)
+	s.metrics.SimSeconds.Observe(time.Since(start))
+	if err != nil {
+		s.metrics.SimErrors.Add(1)
+		f.err = err
+		return
+	}
+	s.metrics.SimRuns.Add(int64(rep.Cells))
+	f.exploreRep = rep
+}
+
+// DoExplore runs one design-space sweep (internal/explore) as a single
+// worker-pool job, so a grid competes for capacity like any other
+// request and backpressure applies before any simulation starts. The
+// grid is prechecked up front — a malformed axis or an oversized grid
+// is an ErrBadRequest, never a consumed worker slot. ctx bounds only
+// this caller's wait, as in Do.
+func (s *Service) DoExplore(ctx context.Context, req explore.Request) (*explore.Report, error) {
+	s.metrics.Requests.Add(1)
+	if err := explore.Precheck(req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		return nil, &ErrBadRequest{err}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(s.jobs) == cap(s.jobs) {
+		queued := len(s.jobs)
+		s.mu.Unlock()
+		s.metrics.Rejected.Add(1)
+		retry := time.Duration(1+queued/s.cfg.Workers) * time.Second
+		return nil, &ErrOverloaded{RetryAfter: retry}
+	}
+	f := &flight{
+		explore: &req,
+		timeout: s.timeoutFor(0),
+		done:    make(chan struct{}),
+	}
+	s.metrics.QueueDepth.Add(1)
+	s.jobs <- f // non-blocking: len < cap was checked under mu, all sends hold mu
+	s.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.exploreRep, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 

@@ -219,8 +219,11 @@ func TestBackpressure(t *testing.T) {
 	go func() { launched <- struct{}{}; s.Do(context.Background(), hold2, nil) }()
 	<-launched
 	<-launched
-	// Wait until one job is in flight and one is queued.
-	deadline := time.Now().Add(5 * time.Second)
+	// Wait until one job is in flight and one is queued. Generous
+	// deadline: under -race on a small machine the first-touch
+	// normalization (workload fingerprinting) can eat seconds before
+	// either request even reaches the queue.
+	deadline := time.Now().Add(30 * time.Second)
 	for s.metrics.InFlight.Load() != 1 || s.metrics.QueueDepth.Load() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatalf("pool never saturated: inflight=%d queued=%d",
