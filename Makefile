@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke explore-smoke
+.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke explore-smoke leak-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke explore-smoke
+check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke explore-smoke leak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,12 +49,14 @@ bench-smoke:
 
 # A bounded sweep of the differential fuzzer (internal/fuzz): every
 # seed must pass the interp/pipeline/xform agreement oracle (which now
-# includes the batch-vs-single lockstep stage), plus a focused sweep of
-# the batch oracle alone on a disjoint seed range. Seconds, not
-# minutes; `sgfuzz -seeds 500` (or more) is the deep version.
+# includes the batch-vs-single lockstep and leak-soundness stages),
+# plus focused sweeps of the batch and leak oracles alone on disjoint
+# seed ranges. Seconds, not minutes; `sgfuzz -seeds 500` (or more) is
+# the deep version.
 fuzz-smoke:
 	$(GO) run ./cmd/sgfuzz -seeds 50
 	$(GO) run ./cmd/sgfuzz -batch -start 1000 -seeds 50
+	$(GO) run ./cmd/sgfuzz -leak -start 3000 -seeds 100
 
 # End-to-end smoke of the experiment daemon: coalescing, graceful
 # drain under SIGTERM, and post-restart store-hit replay, all asserted
@@ -68,6 +70,13 @@ serve-smoke:
 # per-request machine models on /v1/run.
 explore-smoke:
 	./scripts/explore_smoke.sh
+
+# End-to-end smoke of the speculative-leak analysis: the sglint taint
+# rules and -leak-error contract, the sgbench -leaks dynamic/static
+# ablation (victim leaks, guarded victim doesn't, static covers), and
+# a bounded sgfuzz -leak soundness sweep.
+leak-smoke:
+	./scripts/leak_smoke.sh
 
 # Regenerate the "after" block of BENCH_pipeline.json.
 bench-json:

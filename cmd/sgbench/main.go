@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	sgbench [-table N] [-figure] [-summary] [-ablation] [-entries N]
-//	        [-par N] [-benchjson] [-cpuprofile F] [-memprofile F]
+//	sgbench [-table N] [-figure] [-summary] [-ablation] [-leaks]
+//	        [-entries N] [-par N] [-benchjson] [-cpuprofile F]
+//	        [-memprofile F]
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	figure := flag.Bool("figure", false, "print only the Fig. 2/4 worked example")
 	summary := flag.Bool("summary", false, "print only the headline IPC summary")
 	ablation := flag.Bool("ablation", false, "print only the policy ablation")
+	leaks := flag.Bool("leaks", false, "print only the speculative-leak ablation (victim kernels, dynamic vs static)")
 	entries := flag.Int("entries", 0, "override the 2-bit predictor table size")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	benchjson := flag.Bool("benchjson", false, "emit pipeline/suite performance numbers as JSON and exit")
@@ -63,14 +65,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*table, *figure, *summary, *ablation, *entries, *par,
+	if err := run(*table, *figure, *summary, *ablation, *leaks, *entries, *par,
 		*benchjson, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, figure, summary, ablation bool, entries, par int,
+func run(table int, figure, summary, ablation, leaks bool, entries, par int,
 	benchjson bool, cpuprofile, memprofile string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
@@ -109,7 +111,7 @@ func run(table int, figure, summary, ablation bool, entries, par int,
 		return emitBenchJSON(newRunner, os.Stdout)
 	}
 
-	only := table != 0 || figure || summary || ablation
+	only := table != 0 || figure || summary || ablation || leaks
 
 	if figure || !only {
 		fmt.Println(bench.FormatFigure2())
@@ -142,6 +144,15 @@ func run(table int, figure, summary, ablation bool, entries, par int,
 		if err := printAblation(newRunner); err != nil {
 			return err
 		}
+	}
+	if leaks || !only {
+		r := newRunner()
+		fmt.Fprintln(os.Stderr, "running leak ablation: 2 victims x 3 schemes...")
+		results, err := r.RunLeakAll()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatLeakTable(results))
 	}
 	return nil
 }

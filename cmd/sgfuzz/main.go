@@ -11,6 +11,7 @@
 // Usage:
 //
 //	sgfuzz [-seeds N] [-start S] [-corpus DIR] [-shrink=false] [-v]
+//	sgfuzz [-frontend | -batch | -leak] [-seeds N]
 //	sgfuzz -replay FILE
 //
 // Exit status: 0 when every seed passes, 1 when the oracle found a
@@ -37,6 +38,7 @@ func main() {
 	replay := flag.String("replay", "", "re-check one saved corpus file and exit")
 	frontOnly := flag.Bool("frontend", false, "run only the front-end agreement oracle (interp vs. predecode vs. trace replay)")
 	batchOnly := flag.Bool("batch", false, "run only the batch-vs-single lockstep oracle (mixed-config lanes over one trace drain)")
+	leakOnly := flag.Bool("leak", false, "run only the leak-soundness oracle (static spec-secret-load covers dynamic wrong-path secret accesses)")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -60,8 +62,14 @@ func main() {
 	if *replay != "" {
 		os.Exit(replayFile(o, *replay))
 	}
-	if *frontOnly && *batchOnly {
-		fmt.Fprintln(os.Stderr, "sgfuzz: -frontend and -batch are mutually exclusive")
+	exclusive := 0
+	for _, b := range []bool{*frontOnly, *batchOnly, *leakOnly} {
+		if b {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "sgfuzz: -frontend, -batch and -leak are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,6 +79,8 @@ func main() {
 		check = o.CheckFrontEnd
 	case *batchOnly:
 		check = o.CheckBatch
+	case *leakOnly:
+		check = o.CheckLeakSoundness
 	}
 	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, check, *verbose))
 }

@@ -8,8 +8,8 @@
 //	sglint -mode machine -json lowered.s
 //
 // Exit status: 0 when every file is clean (warnings allowed unless
-// -werror), 1 when any file carries error diagnostics, 2 on usage or
-// parse errors.
+// -werror, leak findings allowed unless -leak-error), 1 when any file
+// carries error diagnostics, 2 on usage or parse errors.
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "ir", "verification mode: ir (guarded ops legal) or machine (cmov only)")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (one object per file)")
 	werror := fs.Bool("werror", false, "treat warnings as errors for the exit status")
+	leakError := fs.Bool("leak-error", false, "treat speculative-leak findings as errors for the exit status")
 	specLoads := fs.Bool("spec-loads", false, "vouch for speculative load addresses (SpecOptions.Loads)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -72,8 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				File     string `json:"file"`
 				Errors   int    `json:"errors"`
 				Warnings int    `json:"warnings"`
+				Leaks    int    `json:"leaks"`
 				*analysis.Result
-			}{file, res.Errors(), res.Warnings(), res}
+			}{file, res.Errors(), res.Warnings(), res.Leaks(), res}
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(out); err != nil {
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "%s: %s\n", file, d)
 			}
 		}
-		if res.Errors() > 0 || (*werror && res.Warnings() > 0) {
+		if res.Errors() > 0 || (*werror && res.Warnings() > 0) || (*leakError && res.Leaks() > 0) {
 			status = 1
 		}
 	}

@@ -28,6 +28,10 @@ func TestExitStatuses(t *testing.T) {
 		{"warn-werror", []string{"-werror", "testdata/warn.s"}, 1},
 		{"guarded-ir", []string{"-mode", "ir", "testdata/guarded.s"}, 0},
 		{"guarded-machine", []string{"-mode", "machine", "testdata/guarded.s"}, 1},
+		{"leaky", []string{"testdata/leaky.s"}, 0},
+		{"leaky-werror", []string{"-werror", "testdata/leaky.s"}, 0},
+		{"leaky-leak-error", []string{"-leak-error", "testdata/leaky.s"}, 1},
+		{"clean-leak-error", []string{"-leak-error", "testdata/clean.s"}, 0},
 		{"mixed-file-list", []string{"testdata/clean.s", "testdata/bad.s"}, 1},
 		{"no-files", nil, 2},
 		{"bad-mode", []string{"-mode", "bogus", "testdata/clean.s"}, 2},
@@ -61,19 +65,49 @@ func TestHumanOutput(t *testing.T) {
 	}
 }
 
+// TestLeakHumanOutput pins the human rendering of the leak severity
+// class and all three leak rule IDs.
+func TestLeakHumanOutput(t *testing.T) {
+	code, out, _ := lint("testdata/leaky.s")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (leaks alone must not fail the lint)", code)
+	}
+	for _, want := range []string{
+		"testdata/leaky.s: main.entry[2]: leak: secret-dep-load:",
+		"testdata/leaky.s: main.exit[0]: leak: spec-secret-load:",
+		"testdata/leaky.s: main.exit[1]: leak: secret-dep-branch:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestGoldenJSON locks the machine-readable output byte-for-byte —
 // rule IDs, severities and field names are a stable interface for
 // tooling built on -json.
 func TestGoldenJSON(t *testing.T) {
-	code, out, _ := lint("-json", "testdata/bad.s")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1", code)
+	cases := []struct {
+		file   string
+		golden string
+		want   int
+	}{
+		{"testdata/bad.s", "testdata/bad.golden.json", 1},
+		{"testdata/leaky.s", "testdata/leaky.golden.json", 0},
 	}
-	golden, err := os.ReadFile("testdata/bad.golden.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out != string(golden) {
-		t.Fatalf("-json output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			code, out, _ := lint("-json", tc.file)
+			if code != tc.want {
+				t.Fatalf("exit %d, want %d", code, tc.want)
+			}
+			golden, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != string(golden) {
+				t.Fatalf("-json output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+			}
+		})
 	}
 }

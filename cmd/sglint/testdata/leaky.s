@@ -1,0 +1,24 @@
+; leaky.s fires all three speculative-leak rules: a secret-dependent
+; load before any branch (secret-dep-load), one inside a branch's
+; speculative window (spec-secret-load), and a branch on secret data
+; (secret-dep-branch). The program is otherwise legal — leaks are
+; their own severity class and do not fail the exit status unless
+; -leak-error is set.
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r5, 8256
+	lw r6, 0(r5)
+	lw r7, 0(r6)
+	li r1, 0
+loop:
+	add r1, r1, 1
+	blt r1, 100, loop
+exit:
+	lw r9, 0(r6)
+	beq r9, 0, fin
+mid:
+	li r2, 1
+fin:
+	halt

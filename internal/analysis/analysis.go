@@ -33,9 +33,24 @@
 //	                      (ModeMachine only)
 //	redundant-copy        a copy whose value is already available
 //
+// Programs annotated with secret memory regions (prog.Region) are
+// additionally run through a speculative-leak taint pass (rule_taint.go)
+// with its own severity class:
+//
+//	secret-dep-load       a memory access whose address may carry
+//	                      secret-region taint
+//	spec-secret-load      such an access additionally reachable within
+//	                      the machine's speculative window of a
+//	                      conditional branch — the static counterpart of
+//	                      the pipeline's wrong-path leak flagging
+//	secret-dep-branch     a conditional branch whose condition may
+//	                      carry secret taint
+//
 // "Clean" means no error-severity diagnostics: warnings flag suspicious
 // but well-defined code (zero-init reliance, dead blocks) and do not
-// fail the optimizer audit, the fuzz oracle or the CLIs.
+// fail the optimizer audit, the fuzz oracle or the CLIs. Leak findings
+// are their own severity — a leaky program is legal (the optimizer
+// audit accepts it) but unsafe, and the CLIs surface them separately.
 package analysis
 
 import (
@@ -45,6 +60,7 @@ import (
 
 	"specguard/internal/dep"
 	"specguard/internal/isa"
+	"specguard/internal/machine"
 	"specguard/internal/prog"
 )
 
@@ -86,6 +102,10 @@ type Options struct {
 	// caller asserts the xform.SpecOptions.Loads contract (addresses
 	// valid on both paths) held when the hoist was made.
 	AllowSpeculativeLoads bool
+	// Model supplies the machine whose speculative window bounds the
+	// spec-secret-load rule (nil selects machine.R10000()). Only
+	// consulted for programs carrying secret region annotations.
+	Model *machine.Model
 }
 
 // Severity ranks a diagnostic.
@@ -96,12 +116,19 @@ const (
 	SevWarn Severity = iota
 	// SevError marks a broken legality obligation.
 	SevError
+	// SevLeak marks a speculative information leak: the program is
+	// legal (the optimizer audit accepts it) but a secret-annotated
+	// memory region can influence an address or branch outcome.
+	SevLeak
 )
 
-// String returns "warn" or "error".
+// String returns "warn", "error" or "leak".
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevLeak:
+		return "leak"
 	}
 	return "warn"
 }
@@ -122,6 +149,11 @@ const (
 	RuleUnreachable   = "unreachable-block"
 	RuleMachineGuard  = "machine-illegal-guard"
 	RuleRedundantCopy = "redundant-copy"
+
+	// Speculative-leak rules (SevLeak, rule_taint.go).
+	RuleSecretDepLoad   = "secret-dep-load"
+	RuleSpecSecretLoad  = "spec-secret-load"
+	RuleSecretDepBranch = "secret-dep-branch"
 )
 
 // Diagnostic is one position-carrying finding.
@@ -171,7 +203,26 @@ func (r *Result) Errors() int {
 }
 
 // Warnings counts warn-severity diagnostics.
-func (r *Result) Warnings() int { return len(r.Diags) - r.Errors() }
+func (r *Result) Warnings() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == SevWarn {
+			n++
+		}
+	}
+	return n
+}
+
+// Leaks counts leak-severity diagnostics.
+func (r *Result) Leaks() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == SevLeak {
+			n++
+		}
+	}
+	return n
+}
 
 // Clean reports whether the program carries no error-severity
 // diagnostics. Warnings do not make a program unclean.
@@ -258,6 +309,7 @@ func Analyze(p *prog.Program, opts Options) *Result {
 			a.checkMachineGuards()
 		}
 	}
+	checkTaint(p, opts, res)
 	res.sortDiags()
 	return res
 }

@@ -1,7 +1,6 @@
 // Package govet is a repo-local static check over the Go source tree
 // itself (as opposed to internal/analysis, which checks the simulated
-// programs). Its single rule guards the IR's central mutation
-// invariant:
+// programs). Its rules guard source-level invariants:
 //
 //	instrs-mutation: prog.Block.Instrs may be assigned only inside
 //	internal/xform (the transforms) and internal/prog (the IR's own
@@ -9,8 +8,17 @@
 //	a stray append in an analysis or driver silently invalidates the
 //	CFG, liveness and every cached dataflow fact derived from it.
 //
+//	sgtaint-directive: the //sgtaint:secret and //sgtaint:public
+//	marker comments annotate memory-region declarations for human
+//	readers of the leak analysis. A marker must use one of those two
+//	spellings, at most one marker may target a declaration, and the
+//	marker must agree with the declaration it trails or precedes
+//	(//sgtaint:secret on a Region literal without Secret: true — or
+//	the reverse — is a lie waiting to mislead an audit).
+//
 // Test files are exempt (they build fixture programs by hand), and a
-// deliberate exception is granted by the directive comment
+// deliberate instrs-mutation exception is granted by the directive
+// comment
 //
 //	//sgvet:allow instrs-mutation
 //
@@ -21,11 +29,13 @@
 package govet
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 )
@@ -40,13 +50,20 @@ var allowedDirs = []string{
 	filepath.Join("internal", "prog"),
 }
 
+// Rule identifiers carried on findings.
+const (
+	RuleInstrsMutation = "instrs-mutation"
+	RuleTaintDirective = "sgtaint-directive"
+)
+
 // Finding is one rule violation.
 type Finding struct {
-	Pos string // file:line:col, file relative to the checked root
-	Msg string
+	Pos  string // file:line:col, file relative to the checked root
+	Rule string
+	Msg  string
 }
 
-func (f Finding) String() string { return f.Pos + ": " + f.Msg }
+func (f Finding) String() string { return f.Pos + ": " + f.Rule + ": " + f.Msg }
 
 // CheckDir walks the Go source tree under root and returns every
 // violation, in walk order. Vendor-less repo layout is assumed: .git
@@ -71,14 +88,24 @@ func CheckDir(root string) ([]Finding, error) {
 		if err != nil {
 			return err
 		}
-		for _, dir := range allowedDirs {
-			if strings.HasPrefix(rel, dir+string(filepath.Separator)) {
-				return nil
-			}
-		}
 		fs, err := CheckFile(path, rel)
 		if err != nil {
 			return err
+		}
+		// The directory allowlist exempts only the mutation rule: the
+		// transforms and builders mutate Instrs by design, but their
+		// sgtaint markers are held to the same standard as everyone's.
+		for _, dir := range allowedDirs {
+			if strings.HasPrefix(rel, dir+string(filepath.Separator)) {
+				kept := fs[:0]
+				for _, f := range fs {
+					if f.Rule != RuleInstrsMutation {
+						kept = append(kept, f)
+					}
+				}
+				fs = kept
+				break
+			}
 		}
 		findings = append(findings, fs...)
 		return nil
@@ -89,12 +116,18 @@ func CheckDir(root string) ([]Finding, error) {
 // CheckFile parses one Go source file and reports its violations,
 // positions rendered against displayPath.
 func CheckFile(path, displayPath string) ([]Finding, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return check(fset, file, displayPath), nil
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	findings := check(fset, file, displayPath)
+	findings = append(findings, checkTaintDirectives(fset, file, src, displayPath)...)
+	return findings, nil
 }
 
 // check runs the rule over one parsed file.
@@ -124,7 +157,8 @@ func check(fset *token.FileSet, file *ast.File, displayPath string) []Finding {
 				continue
 			}
 			findings = append(findings, Finding{
-				Pos: fmt.Sprintf("%s:%d:%d", displayPath, pos.Line, pos.Column),
+				Pos:  fmt.Sprintf("%s:%d:%d", displayPath, pos.Line, pos.Column),
+				Rule: RuleInstrsMutation,
 				Msg: "direct mutation of Block.Instrs outside internal/xform and internal/prog" +
 					" (add //" + directive + " if deliberate)",
 			})
@@ -157,4 +191,74 @@ func mutatesInstrs(expr ast.Expr) bool {
 			return false
 		}
 	}
+}
+
+// taintPrefix introduces a region marker comment.
+const taintPrefix = "sgtaint:"
+
+// checkTaintDirectives validates every //sgtaint: marker in the file:
+// the variant must be secret or public, at most one marker may target a
+// line, and the marker must agree with the Region literal it annotates.
+// A trailing marker targets its own line; a standalone marker targets
+// the line below it (mirroring //sgvet:allow).
+func checkTaintDirectives(fset *token.FileSet, file *ast.File, src []byte, displayPath string) []Finding {
+	lines := bytes.Split(src, []byte("\n"))
+	lineText := func(n int) string { // 1-based, "" when out of range
+		if n < 1 || n > len(lines) {
+			return ""
+		}
+		return string(lines[n-1])
+	}
+
+	var findings []Finding
+	report := func(pos token.Position, msg string) {
+		findings = append(findings, Finding{
+			Pos:  fmt.Sprintf("%s:%d:%d", displayPath, pos.Line, pos.Column),
+			Rule: RuleTaintDirective,
+			Msg:  msg,
+		})
+	}
+
+	// target line -> variant already seen there, for conflict detection.
+	seen := map[int]string{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, taintPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			variant := strings.TrimPrefix(text, taintPrefix)
+			if variant != "secret" && variant != "public" {
+				report(pos, fmt.Sprintf("unknown sgtaint marker %q (want //sgtaint:secret or //sgtaint:public)", text))
+				continue
+			}
+
+			// Trailing comment (code before it on the line) marks that
+			// line; a standalone comment marks the next code line, so
+			// stacked markers all resolve to the same declaration.
+			codeOn := func(n int) bool {
+				return strings.TrimSpace(strings.Split(lineText(n), "//")[0]) != ""
+			}
+			target := pos.Line
+			for target <= len(lines) && !codeOn(target) {
+				target++
+			}
+			if prev, ok := seen[target]; ok {
+				report(pos, fmt.Sprintf("conflicting sgtaint markers on one declaration (//sgtaint:%s and //sgtaint:%s)", prev, variant))
+				continue
+			}
+			seen[target] = variant
+
+			decl := lineText(target)
+			secretDecl := strings.Contains(decl, "Secret: true")
+			if variant == "secret" && !secretDecl {
+				report(pos, "//sgtaint:secret marks a declaration without Secret: true")
+			}
+			if variant == "public" && secretDecl {
+				report(pos, "//sgtaint:public marks a declaration with Secret: true")
+			}
+		}
+	}
+	return findings
 }

@@ -105,17 +105,130 @@ func f(b *Block) {
 	}
 }
 
+// TestTaintDirectives pins the sgtaint marker rule: the two legal
+// spellings, unknown variants, conflicting markers, and declaration
+// mismatches.
+func TestTaintDirectives(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "trailing-secret-ok",
+			src: `package p
+func f() { add(Region{Name: "key", Secret: true}) } //sgtaint:secret`,
+			want: 0,
+		},
+		{
+			name: "trailing-public-ok",
+			src: `package p
+func f() { add(Region{Name: "idx"}) } //sgtaint:public`,
+			want: 0,
+		},
+		{
+			name: "standalone-marks-line-below",
+			src: `package p
+func f() {
+	//sgtaint:secret
+	add(Region{Name: "key", Secret: true})
+}`,
+			want: 0,
+		},
+		{
+			name: "unknown-variant",
+			src: `package p
+func f() { add(Region{Name: "key", Secret: true}) } //sgtaint:private`,
+			want: 1,
+		},
+		{
+			name: "conflicting-markers",
+			src: `package p
+func f() {
+	//sgtaint:secret
+	//sgtaint:public
+	add(Region{Name: "key", Secret: true})
+}`,
+			want: 1,
+		},
+		{
+			name: "secret-marker-public-decl",
+			src: `package p
+func f() { add(Region{Name: "idx"}) } //sgtaint:secret`,
+			want: 1,
+		},
+		{
+			name: "public-marker-secret-decl",
+			src: `package p
+func f() { add(Region{Name: "key", Secret: true}) } //sgtaint:public`,
+			want: 1,
+		},
+		{
+			name: "adjacent-trailing-markers-independent",
+			src: `package p
+func f() {
+	add(Region{Name: "idx"})                //sgtaint:public
+	add(Region{Name: "key", Secret: true})  //sgtaint:secret
+}`,
+			want: 0,
+		},
+		{
+			name: "unrelated-comment",
+			src: `package p
+// just prose mentioning nothing special
+func f() {}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkSrc(t, tc.src)
+			n := 0
+			for _, f := range got {
+				if f.Rule == RuleTaintDirective {
+					n++
+				}
+			}
+			if n != tc.want {
+				t.Fatalf("want %d findings, got %v", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestTaintDirectiveCheckedInAllowedDirs pins that the directory
+// allowlist exempts only the mutation rule: a bad marker inside
+// internal/prog is still a finding.
+func TestTaintDirectiveCheckedInAllowedDirs(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "internal", "prog", "r.go")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package prog\nfunc f(b *Block) { b.Instrs = nil } //sgtaint:wat\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Rule != RuleTaintDirective {
+		t.Fatalf("want exactly one sgtaint-directive finding, got %v", fs)
+	}
+}
+
 // TestCheckDirAllowlistAndSkips builds a miniature tree and checks the
 // directory policy: internal/xform and internal/prog are exempt, test
 // files are exempt, everything else is checked.
 func TestCheckDirAllowlistAndSkips(t *testing.T) {
 	root := t.TempDir()
 	files := map[string]string{
-		"internal/xform/a.go":   "package xform\nfunc f(b *Block) { b.Instrs = nil }\n",
-		"internal/prog/b.go":    "package prog\nfunc f(b *Block) { b.Instrs = nil }\n",
-		"internal/sim/c.go":     "package sim\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/xform/a.go":    "package xform\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/prog/b.go":     "package prog\nfunc f(b *Block) { b.Instrs = nil }\n",
+		"internal/sim/c.go":      "package sim\nfunc f(b *Block) { b.Instrs = nil }\n",
 		"internal/sim/c_test.go": "package sim\nfunc g(b *Block) { b.Instrs = nil }\n",
-		"testdata/d.go":         "this is not even Go\n",
+		"testdata/d.go":          "this is not even Go\n",
 	}
 	for rel, src := range files {
 		path := filepath.Join(root, rel)

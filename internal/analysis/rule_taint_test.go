@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"testing"
+
+	"specguard/internal/asm"
+	"specguard/internal/machine"
+)
+
+// taintVictim carries one leak of each kind: a secret-dependent load
+// before any branch (plain secret-dep-load), one on the fall-through of
+// a loop branch (inside the speculative window → spec-secret-load), and
+// a branch on a secret-derived value.
+const taintVictim = `
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r5, 8256
+	lw r6, 0(r5)
+	lw r7, 0(r6)
+	li r1, 0
+loop:
+	add r1, r1, 1
+	blt r1, 100, loop
+exit:
+	lw r9, 0(r6)
+	beq r9, 0, fin
+mid:
+	li r2, 1
+fin:
+	halt
+`
+
+func TestTaintRules(t *testing.T) {
+	res := Analyze(asm.MustParse(taintVictim), Options{})
+	fired := rulesFired(res)
+	want := map[string]int{
+		RuleSecretDepLoad:   1, // entry[2]
+		RuleSpecSecretLoad:  1, // exit[0]
+		RuleSecretDepBranch: 1, // exit[1]
+	}
+	for rule, n := range want {
+		if fired[rule] != n {
+			t.Errorf("%s fired %d time(s), want %d\n%v", rule, fired[rule], n, res.Diags)
+		}
+	}
+	if res.Leaks() != 3 {
+		t.Errorf("Leaks() = %d, want 3", res.Leaks())
+	}
+	if res.Errors() != 0 || res.Warnings() != 0 {
+		t.Errorf("leak findings contaminated errors (%d) or warnings (%d)",
+			res.Errors(), res.Warnings())
+	}
+	if !res.Clean() {
+		t.Error("Clean() = false: leaks must not fail the legality audit")
+	}
+	for _, d := range res.Diags {
+		if d.Severity != SevLeak {
+			t.Errorf("diagnostic %s has severity %s, want leak", d.Rule, d.Severity)
+		}
+	}
+}
+
+// TestTaintWindowBound pins that spec-secret-load respects the model's
+// speculative window: with a 1-instruction window the exit-block load
+// sits at distance 2 (behind a padding instruction) and demotes to a
+// plain secret-dep-load.
+func TestTaintWindowBound(t *testing.T) {
+	src := `
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r5, 8256
+	lw r6, 0(r5)
+	li r1, 0
+loop:
+	add r1, r1, 1
+	blt r1, 100, loop
+exit:
+	li r2, 1
+	lw r9, 0(r6)
+	halt
+`
+	p := asm.MustParse(src)
+
+	res := Analyze(p, Options{})
+	if fired := rulesFired(res); fired[RuleSpecSecretLoad] != 1 {
+		t.Errorf("R10000 window: spec-secret-load fired %d, want 1\n%v", fired[RuleSpecSecretLoad], res.Diags)
+	}
+
+	tiny := machine.R10000()
+	tiny.ActiveList = 1 // SpecWindow() = 1
+	res = Analyze(p, Options{Model: tiny})
+	fired := rulesFired(res)
+	if fired[RuleSpecSecretLoad] != 0 {
+		t.Errorf("1-wide window: spec-secret-load fired %d, want 0\n%v", fired[RuleSpecSecretLoad], res.Diags)
+	}
+	if fired[RuleSecretDepLoad] != 1 {
+		t.Errorf("1-wide window: secret-dep-load fired %d, want 1\n%v", fired[RuleSecretDepLoad], res.Diags)
+	}
+}
+
+// TestTaintPublicClean pins precision: loads attributable to public
+// regions produce no taint and no findings.
+func TestTaintPublicClean(t *testing.T) {
+	src := `
+.region pub 8192 64 public
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r4, 8192
+	lw r2, 0(r4)
+	lw r3, 0(r2)
+	halt
+`
+	res := Analyze(asm.MustParse(src), Options{})
+	if res.Leaks() != 0 {
+		t.Errorf("public-only dataflow produced %d leak finding(s):\n%v", res.Leaks(), res.Diags)
+	}
+}
+
+// TestTaintNoRegions pins the exemption: unannotated programs (every
+// kernel and fuzz program today) never see the pass.
+func TestTaintNoRegions(t *testing.T) {
+	src := `
+func main:
+entry:
+	li r5, 8256
+	lw r6, 0(r5)
+	lw r7, 0(r6)
+	halt
+`
+	res := Analyze(asm.MustParse(src), Options{})
+	if res.Leaks() != 0 {
+		t.Errorf("unannotated program produced %d leak finding(s)", res.Leaks())
+	}
+}
+
+// TestTaintStoreTaintsZone pins the memory summary: storing a
+// secret-derived value through an unattributable address taints every
+// zone, so later loads from anywhere are tainted.
+func TestTaintStoreTaintsZone(t *testing.T) {
+	src := `
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r5, 8256
+	lw r6, 0(r5)
+	add r7, r6, 16
+	sw r6, 0(r7)
+	li r4, 1024
+	lw r2, 0(r4)
+	lw r3, 0(r2)
+	halt
+`
+	res := Analyze(asm.MustParse(src), Options{})
+	if fired := rulesFired(res); fired[RuleSecretDepLoad] < 1 {
+		t.Errorf("tainted store did not poison the memory summary:\n%v", res.Diags)
+	}
+}
+
+// TestTaintInterprocedural pins the call summaries: taint entering a
+// callee and returned through its exit fact survives the call.
+func TestTaintInterprocedural(t *testing.T) {
+	src := `
+.region sec 8256 64 secret
+
+func main:
+entry:
+	li r5, 8256
+	call fetch
+post:
+	lw r9, 0(r6)
+	halt
+
+func fetch:
+body:
+	lw r6, 0(r5)
+	ret
+`
+	res := Analyze(asm.MustParse(src), Options{})
+	found := false
+	for _, d := range res.Diags {
+		if d.Rule == RuleSecretDepLoad && d.Func == "main" && d.Block == "post" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("taint did not flow through the call summary:\n%v", res.Diags)
+	}
+}

@@ -50,6 +50,15 @@ func Parse(src string) (*prog.Program, error) {
 			}
 			p.Entry = name
 			continue
+		case strings.HasPrefix(line, ".region"):
+			r, err := parseRegion(strings.TrimPrefix(line, ".region"))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if err := p.AddRegion(r); err != nil {
+				return nil, fail("%v", err)
+			}
+			continue
 		case strings.HasPrefix(line, "func "):
 			name := strings.TrimSpace(strings.TrimPrefix(line, "func "))
 			name = strings.TrimSuffix(name, ":")
@@ -96,6 +105,32 @@ func MustParse(src string) *prog.Program {
 		panic(err)
 	}
 	return p
+}
+
+// parseRegion parses the operands of ".region name base len
+// secret|public" (the directive keyword already stripped).
+func parseRegion(rest string) (prog.Region, error) {
+	fields := strings.Fields(rest)
+	if len(fields) != 4 {
+		return prog.Region{}, fmt.Errorf(".region: want \"name base len secret|public\", got %d operands", len(fields))
+	}
+	base, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return prog.Region{}, fmt.Errorf(".region %s: bad base %q", fields[0], fields[1])
+	}
+	length, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return prog.Region{}, fmt.Errorf(".region %s: bad length %q", fields[0], fields[2])
+	}
+	var secret bool
+	switch fields[3] {
+	case "secret":
+		secret = true
+	case "public":
+	default:
+		return prog.Region{}, fmt.Errorf(".region %s: class must be secret or public, got %q", fields[0], fields[3])
+	}
+	return prog.Region{Name: fields[0], Base: base, Len: length, Secret: secret}, nil
 }
 
 func stripComment(line string) string {

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"specguard/internal/analysis"
+)
+
+// TestVictimLeaks is the headline dynamic result: the unprotected
+// victim leaks speculatively (and only speculatively) under 2-bit
+// prediction; perfect prediction and guarded execution each close the
+// channel completely.
+func TestVictimLeaks(t *testing.T) {
+	r := NewRunner()
+
+	res, err := r.RunLeak(Victim(), SchemeTwoBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SecretAccesses != 0 {
+		t.Errorf("victim/2-bit: %d committed secret accesses, want 0 (the committed stream is bounds-checked)",
+			res.Stats.SecretAccesses)
+	}
+	if res.Stats.SpecSecretAccesses == 0 {
+		t.Error("victim/2-bit: no wrong-path secret accesses; the victim does not leak")
+	}
+
+	res, err = r.RunLeak(Victim(), SchemePerfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpecSecretAccesses != 0 {
+		t.Errorf("victim/perfect: %d wrong-path secret accesses, want 0 (no mispredicts, no window)",
+			res.Stats.SpecSecretAccesses)
+	}
+
+	res, err = r.RunLeak(VictimGuarded(), SchemeTwoBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpecSecretAccesses != 0 {
+		t.Errorf("victim-guarded/2-bit: %d wrong-path secret accesses, want 0 (guards annul the wrong path)",
+			res.Stats.SpecSecretAccesses)
+	}
+	if res.Stats.SecretAccesses != 0 {
+		t.Errorf("victim-guarded/2-bit: %d committed secret accesses, want 0", res.Stats.SecretAccesses)
+	}
+}
+
+// TestVictimStaticCoverage pins the static side of the cross-check: the
+// lint rules flag the victim (soundness demands st-spec > 0 wherever
+// dyn-spec > 0) and stay quiet on the annotated paper kernels.
+func TestVictimStaticCoverage(t *testing.T) {
+	r := NewRunner()
+	res, err := r.RunLeak(Victim(), SchemeTwoBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticSpec == 0 {
+		t.Error("victim: dynamic wrong-path accesses but no spec-secret-load findings (soundness hole)")
+	}
+
+	for _, w := range All() {
+		a := analysis.Analyze(w.Build(), analysis.Options{})
+		if a.Leaks() != 0 {
+			t.Errorf("%s: %d leak finding(s) on a public-only kernel", w.Name, a.Leaks())
+		}
+	}
+}
+
+// TestLeakTable exercises the full ablation sweep and its rendering.
+func TestLeakTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full leak ablation")
+	}
+	r := NewRunner()
+	results, err := r.RunLeakAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d cells, want 6 (2 victims × 3 schemes)", len(results))
+	}
+	tbl := FormatLeakTable(results)
+	for _, want := range []string{"victim", "victim-guarded", "2-bitBP", "PerfectBP", "dyn-spec"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	// Guarded cells leak nothing dynamically under any scheme.
+	for _, res := range results {
+		if res.Workload == "victim-guarded" && res.Stats.SpecSecretAccesses != 0 {
+			t.Errorf("victim-guarded/%s: %d wrong-path secret accesses", res.Scheme, res.Stats.SpecSecretAccesses)
+		}
+	}
+}

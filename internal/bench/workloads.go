@@ -194,6 +194,9 @@ func buildCompress() *prog.Program {
 
 	p := prog.NewProgram()
 	p.AddFunc(b.Func())
+	p.MustAddRegion(prog.Region{Name: "in", Base: compressIn, Len: compressN * 8})
+	p.MustAddRegion(prog.Region{Name: "ht", Base: compressHT, Len: compressHTsz * 8})
+	p.MustAddRegion(prog.Region{Name: "out", Base: compressOut, Len: 64})
 	return p
 }
 
@@ -280,6 +283,8 @@ func buildEspresso() *prog.Program {
 
 	p := prog.NewProgram()
 	p.AddFunc(b.Func())
+	p.MustAddRegion(prog.Region{Name: "cubes", Base: espressoCubes, Len: espressoN * 8})
+	p.MustAddRegion(prog.Region{Name: "out", Base: espressoOut, Len: 64})
 	return p
 }
 
@@ -401,6 +406,9 @@ func buildXlisp() *prog.Program {
 		Op3(isa.Add, r(2), r(2), r(16)).
 		Ret()
 	p.AddFunc(hb.Func())
+	p.MustAddRegion(prog.Region{Name: "code", Base: xlispCode, Len: xlispSteps * 8})
+	p.MustAddRegion(prog.Region{Name: "heap", Base: xlispHeap, Len: 16384})
+	p.MustAddRegion(prog.Region{Name: "out", Base: xlispOut, Len: 64})
 	return p
 }
 
@@ -485,6 +493,8 @@ func buildGrep() *prog.Program {
 
 	p := prog.NewProgram()
 	p.AddFunc(b.Func())
+	p.MustAddRegion(prog.Region{Name: "text", Base: grepText, Len: (grepN + 16) * 8})
+	p.MustAddRegion(prog.Region{Name: "out", Base: grepOut, Len: 64})
 	return p
 }
 

@@ -252,6 +252,14 @@ func (o *Oracle) Check(p *prog.Program) error {
 		return err
 	}
 
+	// 0c. Leak soundness: with a synthetic secret region injected, every
+	// wrong-path secret access the dynamic taint tracker flags inside
+	// the speculative window must be covered by a static
+	// spec-secret-load finding (see leak.go).
+	if err := o.CheckLeakSoundness(p); err != nil {
+		return err
+	}
+
 	// 1. Base architectural run: profile + event fingerprint.
 	base, prof, baseDigest, err := o.runBase(p)
 	if err != nil {

@@ -52,6 +52,32 @@ type Event struct {
 	// MemAddr is the effective byte address for loads and stores.
 	MemAddr int64
 	IsMem   bool
+
+	// Leak-tracking fields, populated only by a TaintMachine source
+	// (nil/false otherwise, including on every trace replay).
+	//
+	// AddrSecret marks a committed memory access whose address register
+	// held a secret-tainted value (false for annulled accesses: an
+	// annulled guarded access never issues to memory).
+	AddrSecret bool
+	// WrongPath, set on mispredictable conditional branches, summarizes
+	// the secret-indexed accesses the machine would execute on the
+	// not-taken-in-reality path — the statically known wrong path — so
+	// the timing simulator can count exactly the ones inside its
+	// speculative window when this branch mispredicts. Nil when the
+	// wrong path touches no secret-indexed access (the common case).
+	WrongPath []WrongPathAccess
+}
+
+// WrongPathAccess is one secret-indexed memory access on the wrong path
+// of a conditional branch.
+type WrongPathAccess struct {
+	// Dist is the 1-based dynamic instruction distance past the branch
+	// (annulled wrong-path instructions count toward distance but are
+	// never recorded themselves).
+	Dist int32
+	// Flat is the flat-code index of the access (Code.Flat).
+	Flat int32
 }
 
 // ErrHalted is returned by Step once the program has executed Halt.

@@ -185,6 +185,24 @@ func (m *Model) Latency(op isa.Op) int {
 // UnitCount returns how many units of class u exist (0 for UnitNone).
 func (m *Model) UnitCount(u isa.UnitClass) int { return m.Units[u] }
 
+// SpecWindow bounds how many instructions past a conditional branch can
+// be in flight before the misprediction is discovered and recovery
+// squashes them: the wrong path is fetched for at most
+// BranchLat+MispredictPenalty+1 cycles at IssueWidth per cycle, and can
+// never exceed the active list, whichever bites first. The taint
+// analysis uses this as the reach of the speculative window and the
+// dynamic leak tracker uses it to decide which squashed accesses count.
+func (m *Model) SpecWindow() int {
+	w := m.IssueWidth * (m.BranchLat + m.MispredictPenalty + 1)
+	if m.ActiveList < w {
+		w = m.ActiveList
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Clone returns an independent copy of the model, for ablation sweeps
 // that vary one parameter. The Units map is copied deeply: a by-value
 // Model copy shares the map, so a sweep variant mutating unit counts

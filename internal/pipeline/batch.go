@@ -438,6 +438,11 @@ func (p *Pipeline) runBatch() (bool, error) {
 				idx := p.cur
 				slot := &w.slots[idx&int64(len(w.slots)-1)]
 				p.cur++
+				if p.cfg.TrackLeaks && slot.ev.AddrSecret {
+					// Mirrors decodeFetch's committed-leak count: once
+					// per fetched event on both icache paths.
+					s.SecretAccesses++
+				}
 				var icMiss bool
 				if p.icShared {
 					icMiss = slot.icMiss
@@ -514,6 +519,9 @@ func (p *Pipeline) batchPredict(slot *winEvent, idx int64) (throttle bool) {
 				p.stats.SiteMispredicts = make(map[string]int64)
 			}
 			p.stats.SiteMispredicts[slot.ev.BranchSite]++
+		}
+		if p.cfg.TrackLeaks {
+			p.countWrongPathLeaks(slot.ev.WrongPath)
 		}
 		p.rs.fetchStalledOn = idx
 	}

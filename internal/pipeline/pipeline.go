@@ -77,6 +77,39 @@ func (s *MachineSource) NextInto(ev *interp.Event) (bool, error) {
 	return true, nil
 }
 
+// TaintSource adapts a taint-tracking machine into a Source: the event
+// stream a Config.TrackLeaks run consumes. It exposes the predecoded
+// Code so the batched decode window keeps its FlatInstr fast path.
+type TaintSource struct {
+	m *interp.TaintMachine
+}
+
+// NewTaintSource wraps m.
+func NewTaintSource(m *interp.TaintMachine) *TaintSource { return &TaintSource{m: m} }
+
+// Next implements Source.
+func (s *TaintSource) Next() (interp.Event, bool, error) {
+	var ev interp.Event
+	ok, err := s.NextInto(&ev)
+	return ev, ok, err
+}
+
+// NextInto implements EventSource.
+func (s *TaintSource) NextInto(ev *interp.Event) (bool, error) {
+	err := s.m.Step(ev)
+	if err == interp.ErrHalted {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Code exposes the predecoded program for the batch window's static
+// metadata fast path.
+func (s *TaintSource) Code() *interp.Code { return s.m.Code() }
+
 // SliceSource replays a pre-recorded event slice; used by tests.
 type SliceSource struct {
 	events []interp.Event
@@ -118,6 +151,12 @@ type Config struct {
 	// Stats.SiteMispredicts (off by default: it costs a map op per
 	// mispredict).
 	TrackBranchSites bool
+	// TrackLeaks counts secret-indexed memory accesses in
+	// Stats.SecretAccesses / Stats.SpecSecretAccesses. It needs an event
+	// stream whose leak fields are populated (an interp.TaintMachine
+	// source); on ordinary sources it counts zeros. Off by default:
+	// golden Stats stay byte-identical.
+	TrackLeaks bool
 	// SelfCheck audits the hot-loop machinery (completion wheel, ready
 	// queues, disambiguation table, ROB free list, rename pools) at the
 	// end of every cycle and aborts the run on the first violation. It
@@ -269,6 +308,7 @@ type Pipeline struct {
 	lastWriter [128]int64 // seq of each register's youngest in-flight writer, noSeq when none
 	regBuf     []isa.Reg
 	latTab     [256]int16 // raw m.Latency per opcode; clamped at issue after miss penalties
+	leakWin    int32      // model.SpecWindow(), precomputed for the leak counters
 
 	// Batched lockstep state (nil/zero on the single-lane path).
 	win      *window
@@ -302,6 +342,7 @@ func New(cfg Config) (*Pipeline, error) {
 	for op := 0; op < len(p.latTab); op++ {
 		p.latTab[op] = int16(cfg.Model.Latency(isa.Op(op)))
 	}
+	p.leakWin = int32(cfg.Model.SpecWindow())
 	return p, nil
 }
 
@@ -823,6 +864,13 @@ func (p *Pipeline) decodeFetch(it *fetchItem) {
 	it.throttle = false
 	ev := &it.ev
 	op := ev.Instr.Op
+	if p.cfg.TrackLeaks && ev.AddrSecret {
+		// Committed secret-indexed access; counted at fetch so the
+		// single-lane and batched paths (which counts at its window
+		// cursor) see each event exactly once, on both the icache-hit
+		// and icache-miss fetch paths.
+		p.stats.SecretAccesses++
+	}
 	cls := opMetaTab[op].ctl // == predict.Classify(op), one indexed load
 	if cls == predict.ClassNone {
 		return
@@ -855,7 +903,24 @@ func (p *Pipeline) decodeFetch(it *fetchItem) {
 			}
 			p.stats.SiteMispredicts[ev.BranchSite]++
 		}
+		if p.cfg.TrackLeaks {
+			p.countWrongPathLeaks(ev.WrongPath)
+		}
 		rs.fetchStalledOn = it.seq
+	}
+}
+
+// countWrongPathLeaks tallies the wrong-path secret accesses of a
+// mispredicted branch that land inside this lane's speculative window:
+// wrong-path fetch runs until the branch resolves, so accesses within
+// Model.SpecWindow() instructions issue speculatively before the squash.
+// The summary is precomputed by the taint source and deterministic, so
+// single-lane and batched lanes with equal configs count identically.
+func (p *Pipeline) countWrongPathLeaks(wp []interp.WrongPathAccess) {
+	for _, a := range wp {
+		if a.Dist <= p.leakWin {
+			p.stats.SpecSecretAccesses++
+		}
 	}
 }
 

@@ -82,6 +82,14 @@ type Stats struct {
 	ICacheMisses int64
 	DCacheMisses int64
 
+	// Leak tracking (Config.TrackLeaks over a taint-tracking source):
+	// committed secret-indexed accesses, and wrong-path secret accesses
+	// within the speculative window of a mispredicted branch. Omitted
+	// from JSON when zero so golden Stats of non-leak runs stay
+	// byte-identical.
+	SecretAccesses     int64 `json:",omitempty"`
+	SpecSecretAccesses int64 `json:",omitempty"`
+
 	// SiteMispredicts breaks Mispredicts down by branch site when
 	// Config.TrackBranchSites is set (nil otherwise).
 	SiteMispredicts map[string]int64

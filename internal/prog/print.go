@@ -9,6 +9,9 @@ import (
 // internal/asm, suitable for dumping before/after transformation.
 func (p *Program) String() string {
 	var b strings.Builder
+	for _, r := range SortedRegions(p.Regions) {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
 	for i, f := range p.Funcs {
 		if i > 0 {
 			b.WriteByte('\n')

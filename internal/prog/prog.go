@@ -45,6 +45,10 @@ type Program struct {
 	Funcs []*Func
 	Entry string
 
+	// Regions are the public/secret data-memory annotations the taint
+	// analysis consumes; see AddRegion. Empty for unannotated programs.
+	Regions []Region
+
 	byName map[string]*Func
 }
 
@@ -259,6 +263,7 @@ func (f *Func) FreshBlockName(prefix string) string {
 func (p *Program) Clone() *Program {
 	q := NewProgram()
 	q.Entry = p.Entry
+	q.Regions = append([]Region(nil), p.Regions...)
 	for _, f := range p.Funcs {
 		g := NewFunc(f.Name)
 		for _, b := range f.Blocks {
