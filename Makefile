@@ -46,6 +46,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkTraceReplay -benchtime 1x ./internal/trace
 	$(GO) test -run '^$$' -bench BenchmarkProfileAnalyze -benchtime 1x ./internal/profile
 	$(GO) run ./cmd/sgfuzz -frontend -seeds 25
+	# Quiescence fast-forward engagement: a latency-bound workload must
+	# report SkippedCycles > 0 with Stats unchanged (asserted in-test).
+	$(GO) test -run 'TestSkipLongLatencyFP' -count 1 ./internal/pipeline
 
 # A bounded sweep of the differential fuzzer (internal/fuzz): every
 # seed must pass the interp/pipeline/xform agreement oracle (which now
@@ -57,6 +60,7 @@ fuzz-smoke:
 	$(GO) run ./cmd/sgfuzz -seeds 50
 	$(GO) run ./cmd/sgfuzz -batch -start 1000 -seeds 50
 	$(GO) run ./cmd/sgfuzz -leak -start 3000 -seeds 100
+	$(GO) run ./cmd/sgfuzz -skip -start 5000 -seeds 50
 
 # End-to-end smoke of the experiment daemon: coalescing, graceful
 # drain under SIGTERM, and post-restart store-hit replay, all asserted

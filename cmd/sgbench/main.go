@@ -257,6 +257,20 @@ type benchReport struct {
 	Sweep24DrainsPerPair    float64 `json:"sweep24_drains_per_workload_program"`
 	Sweep24PR5BaselineCPUMs int64   `json:"sweep24_pr5_baseline_cpu_ms"`
 	Sweep24SpeedupVsPR5X    float64 `json:"sweep24_speedup_vs_pr5_baseline_x"`
+	// Quiescence fast-forward engagement (pipeline.SkipStats; Stats are
+	// byte-identical with skipping on or off). pipe_* instruments one
+	// timing run of the benchmark kernel — a high-IPC workload, so its
+	// skip rate is near zero by design; the latency-bound rates live in
+	// internal/pipeline's TestSkipLongLatencyFP (bench-smoke asserts
+	// them). sweep24_* aggregates the batched 24-cell sweep, where
+	// parked and stalled lanes give the jumps real work.
+	PipeSkippedCycles      int64   `json:"pipe_skipped_cycles"`
+	PipeFastForwards       int64   `json:"pipe_fast_forwards"`
+	PipeSkipRate           float64 `json:"pipe_skip_rate"`
+	Sweep24SkippedCycles   int64   `json:"sweep24_skipped_cycles"`
+	Sweep24FastForwards    int64   `json:"sweep24_fast_forwards"`
+	Sweep24SkipRate        float64 `json:"sweep24_skip_rate"`
+	Sweep24SkippedPerDrain float64 `json:"sweep24_skipped_cycles_per_drain"`
 }
 
 // batchRate is one batched-lockstep measurement: aggregate lane
@@ -274,13 +288,18 @@ type batchRate struct {
 // the cross-commit comparison the batching work is judged against.
 const sweep24PR5BaselineMs = 2718
 
-const benchComment = "Batched lockstep timing simulation. batch_pipe_on_trace counts " +
-	"lane-instructions (events × lanes) over one shared trace drain; batch_speedup_x is the " +
-	"24-lane aggregate rate over the 1-lane rate. sweep24_* times the full 24-cell predictor " +
-	"sweep on warmed runners (profiles, optimized programs and packed traces prebuilt), " +
-	"best-of-5 process CPU time so co-tenant noise cannot inflate either side. Regenerate " +
-	"with scripts/bench_json.sh (writes BENCH_batch.json). Measured on a 1-core container " +
-	"(GOMAXPROCS=1)."
+const benchComment = "Batched lockstep timing simulation with quiescence fast-forward. " +
+	"batch_pipe_on_trace counts lane-instructions (events × lanes) over one shared trace " +
+	"drain; batch_speedup_x is the 24-lane aggregate rate over the 1-lane rate. sweep24_* " +
+	"times the full 24-cell predictor sweep on warmed runners (profiles, optimized programs " +
+	"and packed traces prebuilt), best-of-5 process CPU time so co-tenant noise cannot " +
+	"inflate either side. *_skipped_cycles/*_fast_forwards report how many dead cycles the " +
+	"quiescence fast-forward elided (Stats stay byte-identical to a NoCycleSkip run). " +
+	"Same-protocol baseline re-measured at the prior commit (6d4231c) on the same box/day: " +
+	"pipe_ns_op=47560412, sweep24_single_cpu_ms=1446, sweep24_batched_cpu_ms=924 — the " +
+	"fast-forward plus the single-lane dispatch fast path cut the per-cell sweep ~17% and " +
+	"the (already window-amortized) batched sweep ~5%. Regenerate with scripts/bench_json.sh " +
+	"(writes BENCH_batch.json). Measured on a 1-core container (GOMAXPROCS=1)."
 
 // benchKernel is the BenchmarkPipe program (kept in sync with
 // internal/pipeline/speed_test.go) so released binaries can reproduce
@@ -412,6 +431,25 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 		}
 	})
 
+	// One instrumented timing run for the skip counters (one run is
+	// exact: fast-forward decisions are deterministic).
+	var pipeSkip pipeline.SkipStats
+	var pipeSkipRate float64
+	{
+		sim, err := pipeline.New(pipeline.Config{Model: machine.R10000(), Predictor: predict.NewTwoBit(512)})
+		if err != nil {
+			return err
+		}
+		st, err := sim.Run(tr.NewReader())
+		if err != nil {
+			return err
+		}
+		pipeSkip = sim.SkipStats()
+		if st.Cycles > 0 {
+			pipeSkipRate = round4(float64(pipeSkip.SkippedCycles) / float64(st.Cycles))
+		}
+	}
+
 	// Batched lockstep rates: the same packed trace drained once per
 	// Batch.Run, feeding N lanes (mirrors BenchmarkBatchPipe).
 	var batchRates []batchRate
@@ -441,7 +479,7 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 	}
 	batchSpeedup := batchRates[len(batchRates)-1].MinstrS / batchRates[0].MinstrS
 
-	sweepSingle, sweepBatched, sweepDrains, sweepLanes, err := sweep24CPU()
+	sweepSingle, sweepBatched, sweepMeta, err := sweep24CPU()
 	if err != nil {
 		return err
 	}
@@ -494,11 +532,19 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 		Sweep24SingleCPUMs:      sweepSingle.Milliseconds(),
 		Sweep24BatchedCPUMs:     sweepBatched.Milliseconds(),
 		Sweep24SpeedupX:         round2(float64(sweepSingle) / float64(sweepBatched)),
-		Sweep24TraceDrains:      sweepDrains,
-		Sweep24SimLanes:         sweepLanes,
-		Sweep24DrainsPerPair:    round2(float64(sweepDrains) / sweepPairs),
+		Sweep24TraceDrains:      sweepMeta.drains,
+		Sweep24SimLanes:         sweepMeta.lanes,
+		Sweep24DrainsPerPair:    round2(float64(sweepMeta.drains) / sweepPairs),
 		Sweep24PR5BaselineCPUMs: sweep24PR5BaselineMs,
 		Sweep24SpeedupVsPR5X:    round2(sweep24PR5BaselineMs * float64(time.Millisecond) / float64(sweepBatched)),
+
+		PipeSkippedCycles:      pipeSkip.SkippedCycles,
+		PipeFastForwards:       pipeSkip.FastForwards,
+		PipeSkipRate:           pipeSkipRate,
+		Sweep24SkippedCycles:   sweepMeta.skipped,
+		Sweep24FastForwards:    sweepMeta.jumps,
+		Sweep24SkipRate:        sweepMeta.skipRate(),
+		Sweep24SkippedPerDrain: round2(float64(sweepMeta.skipped) / float64(sweepMeta.drains)),
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -507,6 +553,9 @@ func emitBenchJSON(newRunner func() *bench.Runner, out *os.File) error {
 
 // round2 keeps report ratios readable.
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// round4 keeps small rates readable without flattening them to zero.
+func round4(x float64) float64 { return float64(int64(x*10000+0.5)) / 10000 }
 
 // cpuTime returns the process CPU time (user+system). On a shared box
 // wall clock charges co-tenant bursts to whichever side happens to be
@@ -517,14 +566,30 @@ func cpuTime() time.Duration {
 	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
 }
 
+// sweep24Meta carries the batched sweep's per-iteration counter deltas
+// (drain accounting plus quiescence fast-forward engagement) and the
+// cycle total its skip rate is computed against.
+type sweep24Meta struct {
+	drains, lanes  int64
+	skipped, jumps int64
+	cycles         int64
+}
+
+func (m sweep24Meta) skipRate() float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return round4(float64(m.skipped) / float64(m.cycles))
+}
+
 // sweep24CPU times the 24-cell predictor sweep (every workload ×
 // {TwoBit, Proposed, Perfect} × {512, 1024} entries) through the
 // per-cell RunSpec path and the batched RunSpecs path. Both runners
 // are pre-warmed (profiles, optimizer rewrites, packed traces), so the
 // measured region is exactly the 24 timing simulations; best-of-5
-// process CPU time keeps scheduler noise out of the ratio. The drain
+// process CPU time keeps scheduler noise out of the ratio. The meta
 // counters are the batched path's per-sweep totals.
-func sweep24CPU() (single, batched time.Duration, drains, lanes int64, err error) {
+func sweep24CPU() (single, batched time.Duration, meta sweep24Meta, err error) {
 	ctx := context.Background()
 	warm := func() (*bench.Runner, error) {
 		r := bench.NewRunner()
@@ -567,14 +632,21 @@ func sweep24CPU() (single, batched time.Duration, drains, lanes int64, err error
 			single = d
 		}
 		d0, l0 := rb.TraceDrains(), rb.SimLanes()
+		s0, j0 := rb.SkippedCycles(), rb.FastForwards()
 		t0 = cpuTime()
-		if _, err = rb.RunSpecs(ctx, specs); err != nil {
+		var results []bench.Result
+		if results, err = rb.RunSpecs(ctx, specs); err != nil {
 			return
 		}
 		if d := cpuTime() - t0; d < batched {
 			batched = d
 		}
-		drains, lanes = rb.TraceDrains()-d0, rb.SimLanes()-l0
+		meta.drains, meta.lanes = rb.TraceDrains()-d0, rb.SimLanes()-l0
+		meta.skipped, meta.jumps = rb.SkippedCycles()-s0, rb.FastForwards()-j0
+		meta.cycles = 0
+		for _, res := range results {
+			meta.cycles += res.Stats.Cycles
+		}
 	}
 	return
 }

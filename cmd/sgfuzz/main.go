@@ -11,7 +11,7 @@
 // Usage:
 //
 //	sgfuzz [-seeds N] [-start S] [-corpus DIR] [-shrink=false] [-v]
-//	sgfuzz [-frontend | -batch | -leak] [-seeds N]
+//	sgfuzz [-frontend | -batch | -leak | -skip] [-seeds N]
 //	sgfuzz -replay FILE
 //
 // Exit status: 0 when every seed passes, 1 when the oracle found a
@@ -39,6 +39,7 @@ func main() {
 	frontOnly := flag.Bool("frontend", false, "run only the front-end agreement oracle (interp vs. predecode vs. trace replay)")
 	batchOnly := flag.Bool("batch", false, "run only the batch-vs-single lockstep oracle (mixed-config lanes over one trace drain)")
 	leakOnly := flag.Bool("leak", false, "run only the leak-soundness oracle (static spec-secret-load covers dynamic wrong-path secret accesses)")
+	skipOnly := flag.Bool("skip", false, "run only the quiescence fast-forward oracle (skip-enabled vs NoCycleSkip stats equality, single and batched)")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -63,13 +64,13 @@ func main() {
 		os.Exit(replayFile(o, *replay))
 	}
 	exclusive := 0
-	for _, b := range []bool{*frontOnly, *batchOnly, *leakOnly} {
+	for _, b := range []bool{*frontOnly, *batchOnly, *leakOnly, *skipOnly} {
 		if b {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "sgfuzz: -frontend, -batch and -leak are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "sgfuzz: -frontend, -batch, -leak and -skip are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +82,8 @@ func main() {
 		check = o.CheckBatch
 	case *leakOnly:
 		check = o.CheckLeakSoundness
+	case *skipOnly:
+		check = o.CheckSkip
 	}
 	os.Exit(sweep(o, *start, *seeds, *corpus, *doShrink, check, *verbose))
 }

@@ -125,6 +125,12 @@ type jsonReport struct {
 	SimLanes      int64   `json:"sim_lanes"`
 	ArchRuns      int64   `json:"arch_runs"`
 	LanesPerDrain float64 `json:"lanes_per_drain"`
+	// Quiescence fast-forward engagement (see explore.Report): cycles
+	// elided, jumps taken, and their share of the sweep's simulated
+	// cycles. Stats are byte-identical with skipping on or off.
+	SkippedCycles int64   `json:"skipped_cycles"`
+	FastForwards  int64   `json:"fast_forwards"`
+	SkipRate      float64 `json:"skip_rate"`
 }
 
 type jsonPoint struct {
@@ -212,6 +218,9 @@ func run(axesFlag, predictors, workloadsFlag, schemeFlag string, maxPoints, par 
 			SimLanes:      rep.SimLanes,
 			ArchRuns:      rep.ArchRuns,
 			LanesPerDrain: rep.LanesPerDrain,
+			SkippedCycles: rep.SkippedCycles,
+			FastForwards:  rep.FastForwards,
+			SkipRate:      rep.SkipRate,
 		}
 		for i := range rep.Points {
 			p := &rep.Points[i]

@@ -79,6 +79,29 @@ func (r *Runner) TraceDrains() int64 { return r.traceDrains.Load() }
 // drains.
 func (r *Runner) SimLanes() int64 { return r.simLanes.Load() }
 
+// SkippedCycles returns the total simulated cycles the quiescence
+// fast-forward elided across every simulation this Runner has fed (see
+// pipeline.SkipStats); FastForwards counts the jumps that elided them.
+// Like TraceDrains/SimLanes these make the optimization's engagement
+// observable without perturbing Stats, which stay byte-identical to a
+// NoCycleSkip run.
+func (r *Runner) SkippedCycles() int64 { return r.skippedCycles.Load() }
+
+// FastForwards returns how many quiescence jumps those skipped cycles
+// came from.
+func (r *Runner) FastForwards() int64 { return r.fastForwards.Load() }
+
+// addSkip folds one simulation's fast-forward counters into the
+// Runner's totals.
+func (r *Runner) addSkip(sk pipeline.SkipStats) {
+	if sk.SkippedCycles != 0 {
+		r.skippedCycles.Add(sk.SkippedCycles)
+	}
+	if sk.FastForwards != 0 {
+		r.fastForwards.Add(sk.FastForwards)
+	}
+}
+
 // RunSpecs simulates every Spec, batching cells that replay the same
 // trace into one lockstep pipeline.Batch. Results are returned in spec
 // order and are byte-identical to calling RunSpec per cell; only the
@@ -251,6 +274,7 @@ func (r *Runner) runGroup(ctx context.Context, g *batchGroup) error {
 	}
 	r.traceDrains.Add(1)
 	r.simLanes.Add(int64(len(g.lanes)))
+	r.addSkip(batch.SkipStats())
 	for i, ln := range g.lanes {
 		ln.stats = stats[i]
 	}

@@ -96,6 +96,11 @@ type Runner struct {
 	// contributes (1, 1) per cell, a batched group (1, numLanes).
 	traceDrains atomic.Int64
 	simLanes    atomic.Int64
+	// skippedCycles/fastForwards aggregate the quiescence fast-forward
+	// counters (pipeline.SkipStats) of every simulation this Runner has
+	// fed — single-lane and batched alike.
+	skippedCycles atomic.Int64
+	fastForwards  atomic.Int64
 }
 
 type profileEntry struct {
@@ -311,6 +316,7 @@ func (r *Runner) simulate(ctx context.Context, p *prog.Program, w Workload, m *m
 	}
 	r.traceDrains.Add(1)
 	r.simLanes.Add(1)
+	r.addSkip(pipe.SkipStats())
 	return stats, nil
 }
 

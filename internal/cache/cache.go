@@ -3,11 +3,15 @@
 // costs the flat Table 2 penalty (6 cycles), applied by the pipeline.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cache is a direct-mapped cache.
 type Cache struct {
 	lineBytes int
+	lineShift uint // log2(lineBytes): Access shifts instead of dividing
 	numLines  int
 	tags      []uint64
 	valid     []bool
@@ -28,6 +32,7 @@ func New(sizeBytes, lineBytes int) *Cache {
 	n := sizeBytes / lineBytes
 	return &Cache{
 		lineBytes: lineBytes,
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
 		numLines:  n,
 		tags:      make([]uint64, n),
 		valid:     make([]bool, n),
@@ -38,7 +43,7 @@ func New(sizeBytes, lineBytes int) *Cache {
 // it hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.accesses++
-	line := addr / uint64(c.lineBytes)
+	line := addr >> c.lineShift
 	idx := int(line) & (c.numLines - 1)
 	if c.valid[idx] && c.tags[idx] == line {
 		return true

@@ -85,6 +85,16 @@ type Report struct {
 	SimLanes      int64   `json:"sim_lanes"`
 	ArchRuns      int64   `json:"arch_runs"`
 	LanesPerDrain float64 `json:"lanes_per_drain"`
+
+	// Quiescence fast-forward engagement across the sweep (deltas on
+	// the runner's counters): SkippedCycles simulated cycles were elided
+	// in FastForwards jumps, and SkipRate is their share of the sweep's
+	// total simulated cycles. Stats stay byte-identical either way;
+	// these only report how much dead time the sweep did not grind
+	// through cycle by cycle.
+	SkippedCycles int64   `json:"skipped_cycles"`
+	FastForwards  int64   `json:"fast_forwards"`
+	SkipRate      float64 `json:"skip_rate"`
 }
 
 // Cost is the hardware-cost proxy a point is judged against: total
@@ -159,6 +169,7 @@ func Run(ctx context.Context, r *bench.Runner, req Request) (*Report, error) {
 	}
 
 	drains0, lanes0, arch0 := r.TraceDrains(), r.SimLanes(), r.ArchRuns()
+	skipped0, jumps0 := r.SkippedCycles(), r.FastForwards()
 	results, err := r.RunSpecs(ctx, specs)
 	if err != nil {
 		return nil, err
@@ -198,6 +209,17 @@ func Run(ctx context.Context, r *bench.Runner, req Request) (*Report, error) {
 	rep.ArchRuns = r.ArchRuns() - arch0
 	if rep.TraceDrains > 0 {
 		rep.LanesPerDrain = float64(rep.SimLanes) / float64(rep.TraceDrains)
+	}
+	rep.SkippedCycles = r.SkippedCycles() - skipped0
+	rep.FastForwards = r.FastForwards() - jumps0
+	var total int64
+	for i := range rep.Points {
+		for j := range rep.Points[i].Cells {
+			total += rep.Points[i].Cells[j].Stats.Cycles
+		}
+	}
+	if total > 0 {
+		rep.SkipRate = float64(rep.SkippedCycles) / float64(total)
 	}
 	return rep, nil
 }

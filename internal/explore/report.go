@@ -20,5 +20,7 @@ func FormatReport(rep *Report) string {
 	}
 	fmt.Fprintf(&b, "cells=%d drains=%d lanes=%d arch_runs=%d lanes/drain=%.2f\n",
 		rep.Cells, rep.TraceDrains, rep.SimLanes, rep.ArchRuns, rep.LanesPerDrain)
+	fmt.Fprintf(&b, "skipped_cycles=%d fast_forwards=%d skip_rate=%.4f\n",
+		rep.SkippedCycles, rep.FastForwards, rep.SkipRate)
 	return b.String()
 }

@@ -293,6 +293,13 @@ func (o *Oracle) Check(p *prog.Program) error {
 		return err
 	}
 
+	// 3c. Quiescence fast-forward agreement: skip-enabled Stats must be
+	// byte-identical to a NoCycleSkip cycle-by-cycle run, single-lane
+	// and batched (see CheckSkip).
+	if err := o.CheckSkip(p); err != nil {
+		return err
+	}
+
 	// 4. Every transform variant must preserve the architectural
 	// outcome, and its own pipeline run must stay self-consistent.
 	for _, v := range o.Variants {

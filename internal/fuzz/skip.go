@@ -1,0 +1,155 @@
+package fuzz
+
+import (
+	"fmt"
+	"reflect"
+
+	"specguard/internal/interp"
+	"specguard/internal/pipeline"
+	"specguard/internal/predict"
+	"specguard/internal/prog"
+	"specguard/internal/trace"
+)
+
+// CheckSkip is the quiescence fast-forward oracle: every Stats a
+// pipeline produces with cycle skipping enabled (the default) must be
+// byte-identical to the same configuration run cycle by cycle under
+// Config.NoCycleSkip — on a single lane and inside a lockstep Batch.
+// The machine-model variant (base, throttled fetch, stretched divide
+// latency, shallow rename pool — the shapes with the longest quiescent
+// stretches) and the batched lane mix derive from the program
+// fingerprint, so every fuzz seed pins a different configuration. All
+// runs keep SelfCheck on, which audits each fast-forward jump (no
+// ready entry skipped, no wheel event inside the skipped range).
+//
+// Stable check names:
+//
+//	skip-run               a skip-enabled run failed outright
+//	skip-ref               the NoCycleSkip reference run failed
+//	skip-vs-noskip         single-lane Stats diverged
+//	skip-counters          NoCycleSkip run still reported fast-forwards
+//	skip-batch-vs-noskip   some batched lane's Stats diverged
+func (o *Oracle) CheckSkip(p *prog.Program) error {
+	fail := func(check, format string, args ...any) error {
+		return &Failure{Check: check, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	code, err := interp.Predecode(p, nil)
+	if err != nil {
+		return nil // construction errors are the front-end oracle's domain
+	}
+	tr, _, err := trace.Capture(code, o.interpOpts(), nil, nil)
+	if err != nil {
+		return nil // faulting programs are the front-end oracle's domain
+	}
+
+	// Fingerprint-derived model variant biased toward quiescence: the
+	// fast-forward path only earns its keep (and only has bugs to show)
+	// when dead cycles exist, so half the variants stretch latencies or
+	// throttle fetch. Every variant is Validate-legal.
+	h := p.Fingerprint()
+	model := o.Model
+	switch (h >> 11) % 4 {
+	case 1:
+		model = model.Clone()
+		model.ThrottledFetchWidth = 1
+	case 2:
+		model = model.Clone()
+		model.FPDivLat = 24
+		model.DivLat = 20
+	case 3:
+		model = model.Clone()
+		model.RenameRegs = 16
+		model.ActiveList = 16
+	}
+	if model != o.Model {
+		if err := model.Validate(); err != nil {
+			return fail("skip-run", "model variant invalid: %v", err)
+		}
+	}
+
+	size := 128 << (h % 3) // 128, 256 or 512 predictor entries
+	single := func(noSkip bool) (pipeline.Stats, pipeline.SkipStats, error) {
+		pipe, err := pipeline.New(pipeline.Config{
+			Model:       model,
+			Predictor:   predict.NewTwoBit(size),
+			SelfCheck:   true,
+			NoCycleSkip: noSkip,
+		})
+		if err != nil {
+			return pipeline.Stats{}, pipeline.SkipStats{}, err
+		}
+		st, err := pipe.Run(tr.NewReader())
+		return st, pipe.SkipStats(), err
+	}
+
+	got, sk, err := single(false)
+	if err != nil {
+		return fail("skip-run", "model=%+v: %v", (h>>11)%4, err)
+	}
+	want, off, err := single(true)
+	if err != nil {
+		return fail("skip-ref", "%v", err)
+	}
+	if off != (pipeline.SkipStats{}) {
+		return fail("skip-counters", "NoCycleSkip run fast-forwarded anyway: %+v", off)
+	}
+	if !reflect.DeepEqual(got, want) {
+		return fail("skip-vs-noskip",
+			"single-lane stats diverge (skipped %d cycles in %d jumps):\nskip:   %+v\nnoskip: %+v",
+			sk.SkippedCycles, sk.FastForwards, got, want)
+	}
+
+	// Batched: a small fingerprint-derived lane mix run both ways over
+	// fresh drains of the same trace. Parked lanes (unequal cycle
+	// counts) are exactly where batch-side skipping can go wrong, so
+	// lane configs deliberately mix fast and slow models.
+	lanes := 2 + int(h%2)
+	mix := func(noSkip bool) []pipeline.Config {
+		cfgs := make([]pipeline.Config, lanes)
+		tb := predict.NewTwoBitLanes(sizesFor(lanes, size))
+		for i := range cfgs {
+			m := o.Model
+			if i == 1 {
+				m = model // the quiescence-biased variant rides along
+			}
+			cfgs[i] = pipeline.Config{
+				Model: m, Predictor: tb[i], SelfCheck: true, NoCycleSkip: noSkip,
+			}
+		}
+		return cfgs
+	}
+	run := func(noSkip bool) ([]pipeline.Stats, error) {
+		b, err := pipeline.NewBatch(mix(noSkip))
+		if err != nil {
+			return nil, err
+		}
+		return b.Run(tr.NewReader())
+	}
+	bgot, err := run(false)
+	if err != nil {
+		return fail("skip-run", "batched lanes=%d: %v", lanes, err)
+	}
+	bwant, err := run(true)
+	if err != nil {
+		return fail("skip-ref", "batched lanes=%d: %v", lanes, err)
+	}
+	for i := range bgot {
+		if !reflect.DeepEqual(bgot[i], bwant[i]) {
+			return fail("skip-batch-vs-noskip",
+				"lane %d of %d: batched stats diverge with skipping on:\nskip:   %+v\nnoskip: %+v",
+				i, lanes, bgot[i], bwant[i])
+		}
+	}
+	return nil
+}
+
+// sizesFor spreads distinct two-bit table sizes across n lanes so the
+// batched mix never runs two identical predictors in lockstep.
+func sizesFor(n, base int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base << uint(i%3)
+	}
+	return out
+}

@@ -165,14 +165,27 @@ func (m *Machine) Step(ev *Event) error {
 		return fmt.Errorf("interp: fell off the end of %s", m.c.funcs[^m.pc].Name)
 	}
 	in := &m.c.ins[m.pc]
-	*ev = Event{
-		Fn:    in.Fn,
-		Block: in.Block,
-		Index: int(in.Index),
-		Instr: in.Instr,
-		Addr:  in.Addr,
-		Flat:  m.pc,
-	}
+	// Field-by-field reset instead of a whole-struct literal: the
+	// literal compiles to a stack temporary plus a ~100-byte copy per
+	// event (runtime.duffcopy was a top-five profile entry), where the
+	// explicit stores let the compiler write each field once in place.
+	// Every field Step (or a previous producer of this reused record)
+	// can set is covered, including the leak-tracking ones a plain
+	// Machine never writes.
+	ev.Fn = in.Fn
+	ev.Block = in.Block
+	ev.Index = int(in.Index)
+	ev.Instr = in.Instr
+	ev.Addr = in.Addr
+	ev.Flat = m.pc
+	ev.Branch = false
+	ev.Taken = false
+	ev.BranchSite = ""
+	ev.Annulled = false
+	ev.MemAddr = 0
+	ev.IsMem = false
+	ev.AddrSecret = false
+	ev.WrongPath = nil
 	m.steps++
 
 	// Guard evaluation: an annulled instruction advances control flow

@@ -367,31 +367,48 @@ func (b *Batch) Run(src Source) ([]Stats, error) {
 		p.bfbuf.init(p.cfg.FetchBufferSize)
 	}
 	out := make([]Stats, len(b.lanes))
-	finished := make([]bool, len(b.lanes))
-	running := len(b.lanes)
-	for running > 0 {
+	// The drain loop advances only live lanes: finished ones are
+	// compacted out of the index slice instead of re-scanned (and
+	// re-branched over) on every refill round — with heterogeneous
+	// lane configs the fastest lanes finish many rounds early.
+	live := make([]int, len(b.lanes))
+	for i := range live {
+		live[i] = i
+	}
+	for len(live) > 0 {
 		w.refill()
 		if w.err != nil {
 			return nil, w.err
 		}
-		for i, p := range b.lanes {
-			if finished[i] {
-				continue
-			}
+		n := 0
+		for _, i := range live {
+			p := b.lanes[i]
 			fin, err := p.runBatch()
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: batch lane %d: %w", i, err)
 			}
 			if fin {
-				finished[i] = true
 				out[i] = p.stats
 				p.win = nil
 				p.icShared = false
-				running--
+				continue
 			}
+			live[n] = i
+			n++
 		}
+		live = live[:n]
 	}
 	return out, nil
+}
+
+// SkipStats sums the quiescence fast-forward counters over all lanes
+// of the last Run.
+func (b *Batch) SkipStats() SkipStats {
+	var t SkipStats
+	for _, p := range b.lanes {
+		t.Add(p.SkipStats())
+	}
+	return t
 }
 
 // runBatch advances one lane until it finishes, fails, or needs an

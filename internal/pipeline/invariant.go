@@ -222,6 +222,35 @@ func (p *Pipeline) checkBatchLane(fail func(string, ...any) error) error {
 	return nil
 }
 
+// checkFastForward audits one quiescence jump (skip.go) from cycle
+// from to cycle to: at the moment of the jump no issue queue may hold
+// a ready entry, the ROB head must be incomplete, and the completion
+// wheel must hold nothing due before the landing cycle — otherwise the
+// jump would have skipped real work. This restates the quiescence
+// predicate from the authoritative structures (full queue recount)
+// rather than the readyMask shortcut the hot path trusts.
+func (p *Pipeline) checkFastForward(from, to int64) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("pipeline: selfcheck fast-forward %d->%d: %s", from, to, fmt.Sprintf(format, args...))
+	}
+	for u := isa.UnitClass(0); u < isa.NumUnitClasses; u++ {
+		if n := p.ready[u].len(); n != 0 {
+			return fail("ready[%v] holds %d entries", u, n)
+		}
+	}
+	if p.rob.len() > 0 && p.rob.front().state == stCompleted {
+		return fail("ROB head seq=%d is commit-eligible", p.rob.front().seq)
+	}
+	for i, b := range p.wheel.buckets {
+		for _, seq := range b {
+			if e := p.rob.at(seq); e.complete < to {
+				return fail("wheel bucket %d holds seq %d completing at %d (inside the skipped range)", i, seq, e.complete)
+			}
+		}
+	}
+	return nil
+}
+
 // checkMemTable audits the open-addressed disambiguation table.
 func (p *Pipeline) checkMemTable(fail func(string, ...any) error) error {
 	t := &p.mem

@@ -77,6 +77,11 @@ func (s *MachineSource) NextInto(ev *interp.Event) (bool, error) {
 	return true, nil
 }
 
+// Code exposes the predecoded program: the batch window and the
+// single-lane dispatch stage read static operand metadata from it
+// instead of re-deriving uses/defs per dynamic instruction.
+func (s *MachineSource) Code() *interp.Code { return s.m.Code() }
+
 // TaintSource adapts a taint-tracking machine into a Source: the event
 // stream a Config.TrackLeaks run consumes. It exposes the predecoded
 // Code so the batched decode window keeps its FlatInstr fast path.
@@ -159,12 +164,20 @@ type Config struct {
 	TrackLeaks bool
 	// SelfCheck audits the hot-loop machinery (completion wheel, ready
 	// queues, disambiguation table, ROB free list, rename pools) at the
-	// end of every cycle and aborts the run on the first violation. It
+	// end of every cycle — and the quiescence predicate at every
+	// fast-forward — and aborts the run on the first violation. It
 	// costs a full scan of the in-flight state per cycle; the
 	// differential fuzzer enables it, production runs leave it off.
 	SelfCheck bool
+	// NoCycleSkip disables the quiescence fast-forward (skip.go,
+	// DESIGN.md §18): the hot loop then grinds every dead cycle
+	// individually. Stats are byte-identical either way — the flag
+	// exists for differential testing (the fuzz oracle runs every
+	// generated program both ways) and for isolating skip bugs.
+	NoCycleSkip bool
 	// Context, when set, is polled cooperatively in the hot loop (every
-	// cancelCheckMask+1 cycles, so the per-cycle cost is a nil check):
+	// cancelCheckMask+1 cycles plus once per quiescence fast-forward,
+	// so the per-cycle cost is a nil check):
 	// Run aborts with ctx.Err() once it is cancelled. Timing statistics
 	// up to the abort are unaffected — the check touches no
 	// architectural or timing state — so completed runs remain
@@ -299,6 +312,13 @@ type Pipeline struct {
 
 	stats Stats
 	rs    runState
+	skip  SkipStats // fast-forward counters, reset per run (not part of Stats)
+
+	// code, when the single-lane source exposes its predecoded program,
+	// lets dispatch read static operand metadata (uses/defs/rename
+	// class) from FlatInstr instead of re-deriving it per instruction —
+	// the same fast path the batched window's prepare uses.
+	code *interp.Code
 
 	rob        *ring
 	fbuf       fetchRing
@@ -383,8 +403,10 @@ func (p *Pipeline) beginRun() {
 	p.win = nil
 	p.cur = 0
 	p.icShared = false
+	p.code = nil
 	p.resetMachinery()
 	p.stats = Stats{}
+	p.skip = SkipStats{}
 }
 
 // resetMachinery prepares the reusable hot-loop state for a run.
@@ -467,6 +489,9 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 	rs := &p.rs
 	s := &p.stats
 	fast, _ := src.(EventSource)
+	if cs, ok := src.(interface{ Code() *interp.Code }); ok {
+		p.code = cs.Code()
+	}
 
 	for {
 		// ---- Cooperative cancellation (see Config.Context). ----
@@ -732,13 +757,34 @@ func (p *Pipeline) stageDispatch() {
 		if p.rob.full() {
 			break
 		}
-		op := item.ev.Instr.Op
-		u := op.Unit()
-		q := queueOf(u)
+		in := item.ev.Instr
+		op := in.Op
+		mt := &opMetaTab[op]
+		u := mt.unit
+		q := mt.queue
 		if rs.queueUsed[q] >= rs.queueCap[q] {
 			break
 		}
-		needsRename, fp := destRename(item.ev.Instr)
+		// Fast path: the predecoded Code carries the static operand
+		// metadata (uses/defs/rename class), sparing the per-dispatch
+		// AppendUses/AppendDefs/destRename re-derivation — same contract
+		// as the batched window's prepare: the Instr pointer compare
+		// proves ev.Flat names this exact instruction, and the NUses
+		// overflow sentinel falls through to the recompute path.
+		var f *interp.FlatInstr
+		if c := p.code; c != nil {
+			if fi := item.ev.Flat; fi >= 0 && int(fi) < c.Len() {
+				if ff := c.Flat(fi); ff.Instr == in && int(ff.NUses) <= len(ff.Uses) {
+					f = ff
+				}
+			}
+		}
+		var needsRename, fp bool
+		if f != nil {
+			needsRename, fp = f.NeedsRename, f.FPRename
+		} else {
+			needsRename, fp = destRename(in)
+		}
 		if needsRename {
 			if fp && rs.fpRenames == 0 || !fp && rs.intRenames == 0 {
 				break
@@ -753,7 +799,7 @@ func (p *Pipeline) stageDispatch() {
 		e.renamed = needsRename
 		e.fpDest = fp
 		e.op = op
-		e.isCond = op.IsCondBranch()
+		e.isCond = mt.isCond
 		e.throttle = item.throttle
 		e.taken = item.ev.Taken
 		e.annulled = item.ev.Annulled
@@ -769,9 +815,15 @@ func (p *Pipeline) stageDispatch() {
 		// Record register producers. A producer appearing twice
 		// (both operands from one register) is counted twice and
 		// wakes twice — the net pending count is still correct.
-		p.regBuf = item.ev.Instr.AppendUses(p.regBuf[:0])
-		for _, r := range p.regBuf {
-			p.depend(e, p.lastWriter[r])
+		if f != nil {
+			for i := 0; i < int(f.NUses); i++ {
+				p.depend(e, p.lastWriter[f.Uses[i]])
+			}
+		} else {
+			p.regBuf = in.AppendUses(p.regBuf[:0])
+			for _, r := range p.regBuf {
+				p.depend(e, p.lastWriter[r])
+			}
 		}
 		// Memory ordering: exact disambiguation via trace addresses.
 		if e.memAccess {
@@ -787,9 +839,15 @@ func (p *Pipeline) stageDispatch() {
 		// An annulled instruction's destination write is squashed,
 		// so it must not become a producer.
 		if !e.annulled {
-			p.regBuf = item.ev.Instr.AppendDefs(p.regBuf[:0])
-			for _, r := range p.regBuf {
-				p.lastWriter[r] = e.seq
+			if f != nil {
+				if f.HasDef {
+					p.lastWriter[f.Def] = e.seq
+				}
+			} else {
+				p.regBuf = in.AppendDefs(p.regBuf[:0])
+				for _, r := range p.regBuf {
+					p.lastWriter[r] = e.seq
+				}
 			}
 		}
 		if needsRename {
@@ -845,8 +903,16 @@ func (p *Pipeline) stageEndOfCycle(fbufLen int) (bool, error) {
 		return true, nil
 	}
 	if rs.cycle-rs.lastCommit > p.cfg.Watchdog {
-		return false, fmt.Errorf("pipeline: no commit for %d cycles (simulator deadlock at cycle %d, rob=%d fetchBuf=%d)",
-			p.cfg.Watchdog, rs.cycle, p.rob.len(), fbufLen)
+		return false, p.watchdogErr(fbufLen)
+	}
+	// Quiescence fast-forward (skip.go): when nothing can happen before
+	// the next wheel event, jump there instead of grinding empty cycles.
+	// readyMask is the cheap pre-filter — every ready entry sets its
+	// unit bit, so a non-zero mask means issue may have work next cycle.
+	if !p.cfg.NoCycleSkip && rs.readyMask == 0 {
+		if err := p.fastForward(fbufLen); err != nil {
+			return false, err
+		}
 	}
 	return false, nil
 }

@@ -68,6 +68,27 @@ func (w *wheel) take(cycle int64) []int64 {
 	return b
 }
 
+// nextAfter returns the earliest pending completion cycle at or after
+// cycle, or -1 when the wheel is empty — the horizon query behind the
+// quiescence fast-forward (see skip.go). Every pending completion lies
+// in [cycle, cycle+len(buckets)): schedule keeps deltas strictly below
+// the bucket count and take drains each cycle's bucket before the
+// wheel wraps back onto it, so a non-empty bucket at offset i from
+// cycle can only hold completions for exactly cycle+i, and one pass
+// over the buckets finds the horizon.
+func (w *wheel) nextAfter(cycle int64) int64 {
+	if w.pending == 0 {
+		return -1
+	}
+	n := int64(len(w.buckets))
+	for i := int64(0); i < n; i++ {
+		if len(w.buckets[(cycle+i)&(n-1)]) > 0 {
+			return cycle + i
+		}
+	}
+	return -1 // unreachable while pending > 0 (audited by the self-check)
+}
+
 // grow rebuilds the wheel with a horizon covering need cycles,
 // re-filing every pending seq under the new modulus. Only reachable
 // when a model's latencies change between runs of a reused Pipeline.
