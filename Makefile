@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke explore-smoke leak-smoke
+.PHONY: check vet sgvet lint build test test-race bench-smoke bench-json fuzz-smoke serve-smoke explore-smoke leak-smoke cluster-smoke
 
 # The full gate: what CI (and every PR) must pass.
-check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke explore-smoke leak-smoke
+check: vet sgvet build test test-race lint bench-smoke fuzz-smoke serve-smoke explore-smoke leak-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,7 +33,7 @@ test:
 # bench/race_on_test.go) and the explicit -timeout gives slow
 # single-core machines headroom past the 600s default.
 test-race:
-	$(GO) test -race -timeout 900s ./internal/serve/... ./internal/bench/...
+	$(GO) test -race -timeout 900s ./internal/serve/... ./internal/bench/... ./internal/cluster/... ./internal/load/...
 	$(GO) test -race -run 'TestBatchMatchesSingle|TestGoldenStatsBatched' ./internal/pipeline ./internal/bench
 
 # One iteration of each performance benchmark — catches benchmark rot
@@ -81,6 +81,15 @@ explore-smoke:
 # a bounded sgfuzz -leak soundness sweep.
 leak-smoke:
 	./scripts/leak_smoke.sh
+
+# End-to-end smoke of the sharded cluster: 3 sgserved behind sgcoord,
+# asserting stable shard placement across a coordinator restart,
+# cluster-wide singleflight (one architectural run for an identical
+# concurrent pair), a zero-error mixed sgload burst against both a
+# single backend and the cluster (written to BENCH_serve.json), and
+# graceful re-routing after a backend is killed.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Regenerate the "after" block of BENCH_pipeline.json.
 bench-json:

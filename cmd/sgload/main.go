@@ -1,0 +1,107 @@
+// Command sgload is a seeded deterministic load generator for sgserved
+// and sgcoord. It pre-generates a mixed run/sweep/explore operation
+// schedule from -seed, drives it at -rate with -c workers, and prints a
+// JSON report (throughput, shed/error rates, p50/p95/p99 latency) on
+// stdout — the raw material for BENCH_serve.json.
+//
+// Usage:
+//
+//	sgload -target http://127.0.0.1:8080 -n 200 -c 8 -seed 1
+//	sgload -target http://127.0.0.1:9090 -n 500 -rate 50 -mix 16,1,2
+//
+// Exit status is 0 when every operation either succeeded or was shed
+// with 429 backpressure, 1 when any operation failed outright (unless
+// -allow-errors).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"specguard/internal/buildinfo"
+	"specguard/internal/load"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of an sgserved or sgcoord")
+	n := flag.Int("n", 200, "total operations to issue")
+	c := flag.Int("c", 8, "concurrent workers")
+	rate := flag.Float64("rate", 0, "target aggregate ops/second (0 = unthrottled)")
+	seed := flag.Int64("seed", 1, "schedule seed (same seed, same traffic)")
+	mix := flag.String("mix", "16,1,1", "run,sweep,explore weights")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-operation timeout")
+	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when operations failed")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("sgload"))
+		return
+	}
+	logger := log.New(os.Stderr, "sgload: ", log.LstdFlags)
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	logger.Printf("%s: %d ops against %s (mix %s, seed %d, %d workers)",
+		buildinfo.Version("sgload"), *n, *target, *mix, *seed, *c)
+	rep, err := load.Run(ctx, load.Config{
+		BaseURL:     *target,
+		Requests:    *n,
+		Concurrency: *c,
+		Rate:        *rate,
+		Seed:        *seed,
+		MixRun:      weights[0],
+		MixSweep:    weights[1],
+		MixExplore:  weights[2],
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("done: %d ok, %d shed, %d errors in %.2fs (%.1f ops/s, p50 %.1fms p99 %.1fms)",
+		rep.OK, rep.Shed, rep.Errors, rep.DurationSec, rep.Throughput, rep.P50Ms, rep.P99Ms)
+	if rep.Errors > 0 && !*allowErrors {
+		os.Exit(1)
+	}
+}
+
+// parseMix turns "16,1,2" into the three kind weights.
+func parseMix(s string) ([3]int, error) {
+	var out [3]int
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return out, fmt.Errorf("bad -mix %q: want run,sweep,explore", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return out, fmt.Errorf("bad -mix weight %q", p)
+		}
+		out[i] = v
+	}
+	if out[0]+out[1]+out[2] == 0 {
+		return out, fmt.Errorf("bad -mix %q: all weights zero", s)
+	}
+	return out, nil
+}

@@ -11,13 +11,14 @@
 //	sgserved -addr 127.0.0.1:0 -workers 4 -queue 128 -timeout 30s
 //
 // Endpoints: POST/GET /v1/run (JSON, or NDJSON progress with
-// ?stream=1), GET /v1/sweep (NDJSON), /healthz, /metrics (Prometheus
-// text), /version, /debug/vars.
+// ?stream=1), GET /v1/sweep (NDJSON), /healthz (liveness), /readyz
+// (readiness: 503 until the store/pool/listener are up and again once
+// draining), /metrics (Prometheus text), /version, /debug/vars.
 //
-// On SIGTERM/SIGINT the daemon flips /healthz to 503, stops accepting
-// work, finishes everything in flight (bounded by -drain-timeout,
-// after which simulations are cancelled cooperatively), and exits 0 on
-// a clean drain.
+// On SIGTERM/SIGINT the daemon flips /healthz and /readyz to 503,
+// stops accepting work, finishes everything in flight (bounded by
+// -drain-timeout, after which simulations are cancelled
+// cooperatively), and exits 0 on a clean drain.
 package main
 
 import (
@@ -84,6 +85,9 @@ func run(addr, storeDir string, workers, queue int, timeout, drainTimeout time.D
 		return err
 	}
 	server := &http.Server{Handler: svc.Handler()}
+	// Startup is complete — store opened, pool running, listener bound —
+	// so flip /readyz before announcing the address anyone could probe.
+	svc.MarkReady()
 	logger.Printf("%s listening on %s", buildinfo.Version("sgserved"), ln.Addr())
 
 	errc := make(chan error, 1)

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Upstream is one buffered backend exchange: everything a waiter needs
+// to replay the response to its own client. Bodies are buffered rather
+// than streamed because a coalesced response is written to N clients —
+// run responses are a few KB of stats, so buffering is cheap.
+type Upstream struct {
+	// Status is the backend's HTTP status (or the synthesized one when
+	// every replica failed).
+	Status int
+	// Body is the response body, shared read-only by every waiter.
+	Body []byte
+	// ContentType echoes the backend's Content-Type header.
+	ContentType string
+	// RetryAfter carries the backend's Retry-After seconds on 429/503.
+	RetryAfter string
+	// Backend is the base URL that answered (empty when none did).
+	Backend string
+	// Attempts counts the replicas tried before this answer.
+	Attempts int
+}
+
+// flightGroup coalesces concurrent identical upstream exchanges: the
+// first caller for a key becomes the leader and performs the exchange,
+// everyone else arriving before it completes shares the result. This
+// is the cluster-wide singleflight layered ON TOP of each backend's
+// own: without it, N identical requests arriving at the coordinator
+// would open N upstream connections (the backend would still simulate
+// once, but would serve N copies and the coordinator would hold N
+// sockets); with it, the cluster does one exchange end to end.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *Upstream
+	err  error
+}
+
+// Do executes fn once per key among concurrent callers. The second
+// return is true when this caller shared a leader's result instead of
+// exchanging itself. The leader runs fn to completion regardless of
+// ctx (waiters may still want the result); ctx bounds only this
+// caller's wait.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Upstream, error)) (*Upstream, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

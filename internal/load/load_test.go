@@ -1,0 +1,139 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the whole point of the seed — identical
+// configs generate identical op sequences.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{Requests: 200, Seed: 42, MixRun: 8, MixSweep: 1, MixExplore: 1}
+	a, b := schedule(cfg), schedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 43
+	if reflect.DeepEqual(a, schedule(cfg)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	kinds := map[string]int{}
+	for _, o := range a {
+		kinds[o.kind]++
+	}
+	if kinds[OpRun] == 0 || kinds[OpSweep] == 0 || kinds[OpExplore] == 0 {
+		t.Fatalf("mix 8/1/1 over 200 ops missing a kind: %v", kinds)
+	}
+}
+
+// TestRunAgainstStub drives the full generator loop against a stub
+// that sheds every 5th request, and checks the report's accounting.
+func TestRunAgainstStub(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%5 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed"}`)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/run":
+			fmt.Fprint(w, `{"workload":"x","source":"stub"}`)
+		case "/v1/sweep", "/v1/explore":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"event":"result"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Requests:    50,
+		Concurrency: 4,
+		Seed:        7,
+		MixRun:      8,
+		MixSweep:    1,
+		MixExplore:  1,
+		Timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 50 {
+		t.Errorf("requests = %d, want 50", rep.Requests)
+	}
+	if rep.OK+rep.Shed+rep.Errors != 50 {
+		t.Errorf("OK %d + Shed %d + Errors %d != 50", rep.OK, rep.Shed, rep.Errors)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d (%v), want 0 — sheds must not count as errors", rep.Errors, rep.ErrorSamples)
+	}
+	if rep.Shed == 0 {
+		t.Error("stub sheds every 5th request but report saw none")
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Errorf("latency ordering broken: p50=%.3f p99=%.3f max=%.3f", rep.P50Ms, rep.P99Ms, rep.MaxMs)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %f", rep.Throughput)
+	}
+	var kindTotal int
+	for _, ks := range rep.ByKind {
+		kindTotal += ks.Requests
+	}
+	if kindTotal != 50 {
+		t.Errorf("by_kind totals %d, want 50", kindTotal)
+	}
+}
+
+// TestStreamErrorEventCountsAsError: a 200 NDJSON stream carrying an
+// error event is a failed op, not a success.
+func TestStreamErrorEventCountsAsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"event":"result"}`)
+		fmt.Fprintln(w, `{"event":"error","error":"cell exploded"}`)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Requests: 3, Concurrency: 1, Seed: 1, MixSweep: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 3 {
+		t.Errorf("errors = %d, want 3 (every sweep stream carried an error event)", rep.Errors)
+	}
+}
+
+// TestRateThrottle: 10 requests at 200 rps must take at least ~45ms;
+// unthrottled they complete in microseconds.
+func TestRateThrottle(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Requests: 10, Concurrency: 4, Seed: 1, MixRun: 1, Rate: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 10 {
+		t.Fatalf("ok = %d", rep.OK)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("10 ops at 200 rps finished in %s — throttle not applied", elapsed)
+	}
+}

@@ -28,19 +28,23 @@ import (
 //	POST /v1/explore design-space sweep: an axis grid over the machine
 //	                 model, streamed as NDJSON (one line per grid point,
 //	                 then a Pareto/batching summary line)
-//	GET  /healthz    200 ok / 503 draining
+//	GET  /healthz    liveness: 200 ok / 503 draining
+//	GET  /readyz     readiness: 200 only after MarkReady and before
+//	                 drain — the probe a cluster coordinator routes on
 //	GET  /metrics    Prometheus text exposition
 //	GET  /version    build metadata
-//	GET  /debug/vars expvar (Go runtime internals)
+//	GET  /debug/vars expvar (Go runtime internals) plus the service's
+//	                 store hit/miss counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/explore", s.handleExplore)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/version", s.handleVersion)
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	return mux
 }
 
@@ -78,9 +82,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	}
 }
 
-// parseRunRequest decodes a request from a JSON body (POST) or query
-// parameters (GET).
-func parseRunRequest(r *http.Request) (RunRequest, error) {
+// ParseRunRequest decodes a request from a JSON body (POST) or query
+// parameters (GET). Exported because the cluster coordinator speaks
+// the same wire surface: it parses a client request with this, derives
+// its shard key with NormalizeRequest, and forwards the normalized
+// form.
+func ParseRunRequest(r *http.Request) (RunRequest, error) {
 	var req RunRequest
 	switch r.Method {
 	case http.MethodPost:
@@ -130,7 +137,7 @@ func wantsStream(r *http.Request) bool {
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
-	req, err := parseRunRequest(r)
+	req, err := ParseRunRequest(r)
 	if err != nil {
 		s.metrics.Requests.Add(1)
 		s.metrics.BadRequests.Add(1)
@@ -390,6 +397,35 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: distinct from liveness because a
+// process can be alive but unable to take traffic — still booting
+// (store/pool not initialized, listener not bound) or draining. The
+// cluster coordinator health-checks this endpoint, not /healthz.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleDebugVars renders the standard expvar JSON (cmdline, memstats,
+// anything else published globally) extended with this service's store
+// hit/miss counters, so per-shard cache effectiveness is visible on the
+// debug surface without a Prometheus scraper. Hand-rendered instead of
+// expvar.Publish: Publish is process-global and panics on duplicate
+// names, which breaks every test that builds more than one Service.
+func (s *Service) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	fmt.Fprintf(w, "%q: %d,\n", "sgserved_store_hits_total", s.metrics.StoreHits.Load())
+	fmt.Fprintf(w, "%q: %d", "sgserved_store_misses_total", s.metrics.StoreMisses.Load())
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

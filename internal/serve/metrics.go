@@ -45,6 +45,7 @@ type Metrics struct {
 	Rejected      atomic.Int64 // backpressure 429s
 	CoalescedHits atomic.Int64 // requests attached to an in-flight twin
 	StoreHits     atomic.Int64 // requests answered from the result store
+	StoreMisses   atomic.Int64 // store lookups that found nothing
 	StoreWrites   atomic.Int64 // results persisted
 	StoreQuarantined atomic.Int64 // corrupt store entries set aside
 	SimRuns       atomic.Int64 // simulations executed by the pool
@@ -69,6 +70,7 @@ var metricRows = []metricRow{
 	{"sgserved_rejected_total", "Requests shed by queue-depth backpressure (429).", "counter", func(m *Metrics) int64 { return m.Rejected.Load() }},
 	{"sgserved_coalesced_hits_total", "Requests that attached to an identical in-flight run instead of simulating.", "counter", func(m *Metrics) int64 { return m.CoalescedHits.Load() }},
 	{"sgserved_store_hits_total", "Requests answered from the content-addressed result store.", "counter", func(m *Metrics) int64 { return m.StoreHits.Load() }},
+	{"sgserved_store_misses_total", "Store lookups that found no entry (the request went on to coalesce or simulate).", "counter", func(m *Metrics) int64 { return m.StoreMisses.Load() }},
 	{"sgserved_store_writes_total", "Results persisted to the store.", "counter", func(m *Metrics) int64 { return m.StoreWrites.Load() }},
 	{"sgserved_store_quarantined_total", "Corrupt store entries moved to quarantine.", "counter", func(m *Metrics) int64 { return m.StoreQuarantined.Load() }},
 	{"sgserved_sim_runs_total", "Timing simulations executed by the worker pool.", "counter", func(m *Metrics) int64 { return m.SimRuns.Load() }},

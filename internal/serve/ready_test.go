@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"specguard/internal/machine"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// TestReadyzLifecycle pins the readiness contract: 503 before
+// MarkReady, 200 after, 503 again once draining begins — while
+// liveness (/healthz) stays 200 through the unready boot phase.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("pre-MarkReady /readyz = %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("pre-MarkReady /healthz = %d, want 200 (boot is unready, not dead)", code)
+	}
+
+	s.MarkReady()
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("post-MarkReady /readyz = %d %q, want 200 ready", code, body)
+	}
+
+	s.BeginDrain()
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz = %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz = %d, want 503 (existing semantics unchanged)", code)
+	}
+}
+
+// TestStoreMissMetric pins the hit/miss accounting a cluster scrape
+// aggregates per shard: a cold request is one miss, its repeat one hit,
+// and both appear in /metrics and /debug/vars.
+func TestStoreMissMetric(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	postRun(t, ts.URL, RunRequest{Workload: "grep", Scheme: "2bit"})
+	if got := s.metrics.StoreMisses.Load(); got != 1 {
+		t.Errorf("StoreMisses = %d, want 1", got)
+	}
+	if got := s.metrics.StoreHits.Load(); got != 1 {
+		t.Errorf("StoreHits = %d, want 1", got)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, line := range []string{
+		"sgserved_store_misses_total 1",
+		"sgserved_store_hits_total 1",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+
+	code, body := get(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if got := vars["sgserved_store_hits_total"]; got != float64(1) {
+		t.Errorf("debug vars store hits = %v, want 1", got)
+	}
+	if got := vars["sgserved_store_misses_total"]; got != float64(1) {
+		t.Errorf("debug vars store misses = %v, want 1", got)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Errorf("debug vars lost the standard expvar content: %v", body)
+	}
+}
+
+// TestNormalizeRequestStandalone pins the cluster contract: the
+// package-level NormalizeRequest, given only the base model, derives
+// byte-identical keys to a full Service — this is what lets sgcoord
+// place requests on shards without owning a Runner.
+func TestNormalizeRequestStandalone(t *testing.T) {
+	s := newTestService(t, nil)
+
+	for _, req := range []RunRequest{
+		{Workload: "grep", Scheme: "2bit"},
+		{Workload: "xlisp", Scheme: "Proposed", PredictorEntries: 1024},
+		{Workload: "compress", Scheme: "perfect"},
+		{Workload: "espresso", Scheme: "2bit", Machine: map[string]int{"active_list": 16}},
+		{Workload: "grep", Scheme: "gshare-is-a-predictor-not-a-scheme"},
+	} {
+		svcReq, cliReq := req, req
+		_, svcKey, svcErr := s.normalize(&svcReq)
+		_, cliKey, cliErr := NormalizeRequest(&cliReq, machine.R10000())
+		if (svcErr == nil) != (cliErr == nil) {
+			t.Fatalf("%+v: service err %v vs standalone err %v", req, svcErr, cliErr)
+		}
+		if svcKey != cliKey {
+			t.Errorf("%+v: service key %q != standalone key %q", req, svcKey, cliKey)
+		}
+	}
+}

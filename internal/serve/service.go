@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specguard/internal/bench"
@@ -187,6 +188,14 @@ type Service struct {
 	flights  map[string]*flight
 	draining bool
 
+	// ready gates /readyz: false until the daemon finishes boot (store
+	// opened, pool started, listener bound — MarkReady is the last step
+	// of startup), and false again once draining begins. Liveness
+	// (/healthz) is independent: a booting-but-alive process is live and
+	// unready, so a cluster coordinator routes around it without a
+	// supervisor restarting it.
+	ready atomic.Bool
+
 	jobs chan *flight
 	wg   sync.WaitGroup
 }
@@ -282,12 +291,42 @@ func NewService(cfg Config) (*Service, error) {
 // Metrics exposes the live counters (the HTTP layer renders them).
 func (s *Service) Metrics() *Metrics { return &s.metrics }
 
+// MarkReady flips /readyz to 200. The daemon calls it once startup is
+// complete (after the listener is bound); tests and embedders that
+// skip the HTTP layer may never need it.
+func (s *Service) MarkReady() { s.ready.Store(true) }
+
+// Ready reports whether the service is past boot and not draining —
+// the /readyz contract.
+func (s *Service) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
 // Runner returns the shared runner (metrics export reads ArchRuns).
 func (s *Service) Runner() *bench.Runner { return s.runner }
 
 // normalize validates req and derives the simulation spec and the
-// canonical identity key.
+// canonical identity key against the service runner's base model.
 func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
+	return NormalizeRequest(req, s.runner.Model)
+}
+
+// NormalizeRequest validates req against the base machine model,
+// canonicalizes its fields in place (scheme spelling, implicit
+// predictor-table size), and returns the simulation spec plus the
+// canonical identity key the store and singleflight layers share.
+//
+// It is a package function, not a Service method, because the key is a
+// cluster-wide contract: the sgcoord coordinator derives the same key
+// from the same request to place it on a shard, without owning a
+// Runner. Both sides must normalize against the same base model for
+// the keys to agree.
+func NormalizeRequest(req *RunRequest, base *machine.Model) (bench.Spec, string, error) {
 	w, err := bench.ByName(req.Workload)
 	if err != nil {
 		return bench.Spec{}, "", &ErrBadRequest{err}
@@ -305,7 +344,7 @@ func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
 	if req.Opt != nil && scheme != bench.SchemeProposed {
 		return bench.Spec{}, "", &ErrBadRequest{fmt.Errorf("optimizer options apply only to the Proposed scheme, not %s", scheme)}
 	}
-	model, err := s.deriveModel(req)
+	model, err := deriveModel(req, base)
 	if err != nil {
 		return bench.Spec{}, "", &ErrBadRequest{err}
 	}
@@ -314,7 +353,7 @@ func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
 		if model != nil {
 			entries = model.PredictorEntries
 		} else {
-			entries = s.runner.Model.PredictorEntries
+			entries = base.PredictorEntries
 		}
 	}
 	if model != nil && model.Predictor == machine.PredGShare && entries&(entries-1) != 0 {
@@ -348,11 +387,11 @@ func (s *Service) normalize(req *RunRequest) (bench.Spec, string, error) {
 // and Predictor override fields, or returns nil when the request keeps
 // the service default. The base is always Cloned before mutation and
 // the result must pass machine.Validate.
-func (s *Service) deriveModel(req *RunRequest) (*machine.Model, error) {
+func deriveModel(req *RunRequest, base *machine.Model) (*machine.Model, error) {
 	if len(req.Machine) == 0 && req.Predictor == "" {
 		return nil, nil
 	}
-	m := s.runner.Model.Clone()
+	m := base.Clone()
 	if req.Predictor != "" {
 		pk, err := machine.ParsePredKind(req.Predictor)
 		if err != nil {
@@ -418,6 +457,7 @@ func (s *Service) Do(ctx context.Context, req RunRequest, notify func(stage stri
 			res.Source = "store"
 			return res, nil
 		}
+		s.metrics.StoreMisses.Add(1)
 	}
 
 	s.mu.Lock()
@@ -739,6 +779,7 @@ func (s *Service) DoSweep(ctx context.Context, reqs []RunRequest) ([]sweepCell, 
 				cells[i].Res = res
 				continue
 			}
+			s.metrics.StoreMisses.Add(1)
 		}
 		misses = append(misses, miss{i, spec, key, req})
 	}

@@ -1,0 +1,181 @@
+#!/bin/sh
+# cluster-smoke: boot a 3-backend sgserved cluster behind sgcoord and
+# prove the coordinator's headline properties end to end:
+#
+#   1. stable placement — /cluster/shard for all 12 sweep cells is
+#      byte-identical across a coordinator restart (placement is a pure
+#      function of the key and the backend set);
+#   2. cluster singleflight — two identical concurrent requests through
+#      the coordinator cost ONE architectural run summed across every
+#      backend, with sgcoord_coalesced_total = 1;
+#   3. load benchmark — sgload drives a mixed 200-op run/sweep/explore
+#      burst against a single backend and against the 3-backend
+#      coordinator with zero non-shed errors, and the two reports are
+#      composed into BENCH_serve.json;
+#   4. graceful degradation — after one backend is killed, every sweep
+#      cell still answers (re-routed to the next ring replica, zero
+#      non-429 failures) and /cluster/state marks the backend unhealthy.
+#
+# Run by `make cluster-smoke` (part of `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+B1="" B2="" B3="" COORD=""
+cleanup() {
+    for pid in "$B1" "$B2" "$B3" "$COORD"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster-smoke: FAIL: $*" >&2
+    for f in "$TMP"/log*; do
+        [ -f "$f" ] && { echo "--- $f" >&2; cat "$f" >&2; }
+    done
+    exit 1
+}
+
+$GO build -o "$TMP/sgserved" ./cmd/sgserved
+$GO build -o "$TMP/sgcoord" ./cmd/sgcoord
+$GO build -o "$TMP/sgload" ./cmd/sgload
+
+# wait_addr <logfile>: waits for a daemon to announce its address.
+wait_addr() {
+    ADDR=""
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*$/\1/p' "$TMP/$1" | head -n1)
+        [ -n "$ADDR" ] && break
+        i=$((i + 1))
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || fail "daemon in $1 never announced its address"
+}
+
+# boot_backend <n>: starts sgserved with its own store, sets BADDR.
+boot_backend() {
+    "$TMP/sgserved" -addr 127.0.0.1:0 -store "$TMP/store$1" >"$TMP/log-b$1" 2>&1 &
+    BPID=$!
+    wait_addr "log-b$1"
+    BADDR="http://$ADDR"
+}
+
+# boot_coord <logfile>: starts sgcoord over the three backends with a
+# fast health loop so smoke-scale kills are noticed in well under a
+# second; sets CBASE.
+boot_coord() {
+    "$TMP/sgcoord" -addr 127.0.0.1:0 \
+        -backends "$BACK1,$BACK2,$BACK3" \
+        -health-interval 200ms -fail-threshold 2 >"$TMP/$1" 2>&1 &
+    COORD=$!
+    wait_addr "$1"
+    CBASE="http://$ADDR"
+    i=0
+    while [ $i -lt 50 ]; do
+        curl -fsS "$CBASE/readyz" >/dev/null 2>&1 && return
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "coordinator never became ready"
+}
+
+cmetric() { # coordinator metric
+    curl -fsS "$CBASE/metrics" | awk -v m="$1" '$1==m {print $2}'
+}
+
+backend_metric_sum() { # sum one sgserved metric across all 3 backends
+    total=0
+    for b in "$BACK1" "$BACK2" "$BACK3"; do
+        v=$(curl -fsS "$b/metrics" | awk -v m="$1" '$1==m {print $2}')
+        total=$((total + ${v:-0}))
+    done
+    echo "$total"
+}
+
+# shard_map <outfile>: placement of all 12 sweep cells.
+shard_map() {
+    : >"$TMP/$1"
+    for wl in compress espresso xlisp grep; do
+        for scheme in 2bit proposed perfect; do
+            curl -fsS "$CBASE/cluster/shard?workload=$wl&scheme=$scheme" >>"$TMP/$1" ||
+                fail "shard lookup $wl/$scheme failed"
+            echo >>"$TMP/$1"
+        done
+    done
+}
+
+boot_backend 1; B1=$BPID; BACK1=$BADDR
+boot_backend 2; B2=$BPID; BACK2=$BADDR
+boot_backend 3; B3=$BPID; BACK3=$BADDR
+boot_coord log-c1
+
+# --- 1. placement stable across coordinator restart ------------------
+shard_map shards1.txt
+kill -TERM "$COORD"
+wait "$COORD" || fail "coordinator exited non-zero on SIGTERM"
+COORD=""
+grep -q "drained cleanly" "$TMP/log-c1" || fail "no clean-drain log line"
+boot_coord log-c2
+shard_map shards2.txt
+cmp -s "$TMP/shards1.txt" "$TMP/shards2.txt" ||
+    fail "shard placement changed across coordinator restart"
+owners=$(tr ',' '\n' <"$TMP/shards1.txt" | sed -n 's/.*"owner":"\([^"]*\)".*/\1/p' | sort -u | wc -l)
+[ "$owners" -ge 2 ] || fail "all 12 cells owned by one backend ($owners owner)"
+echo "cluster-smoke: placement ok (12 cells stable across restart, $owners distinct owners)"
+
+# --- 2. cluster-wide singleflight -------------------------------------
+REQ='{"workload":"grep","scheme":"2bit","delay_ms":1500}'
+curl -fsS -X POST "$CBASE/v1/run" -d "$REQ" >"$TMP/r1.json" &
+C1=$!
+sleep 0.5 # leader is now held in its backend worker by delay_ms
+curl -fsS -X POST "$CBASE/v1/run" -d "$REQ" >"$TMP/r2.json" &
+C2=$!
+wait "$C1" || fail "first coalesced request failed"
+wait "$C2" || fail "second coalesced request failed"
+runs=$(backend_metric_sum sgserved_arch_runs_total)
+[ "$runs" = 1 ] || fail "cluster-wide arch_runs = $runs for an identical pair, want 1"
+[ "$(cmetric sgcoord_coalesced_total)" = 1 ] || fail "sgcoord_coalesced_total = $(cmetric sgcoord_coalesced_total), want 1"
+[ "$(cmetric sgcoord_proxied_total)" = 1 ] || fail "sgcoord_proxied_total = $(cmetric sgcoord_proxied_total), want 1"
+echo "cluster-smoke: singleflight ok (1 arch run cluster-wide, 1 coalesced)"
+
+# --- 3. sgload benchmark: single backend vs the cluster ---------------
+"$TMP/sgload" -target "$BACK1" -n 200 -c 8 -seed 1 -mix 16,1,1 \
+    >"$TMP/single.json" 2>"$TMP/log-load1" ||
+    fail "sgload burst against single backend had errors"
+"$TMP/sgload" -target "$CBASE" -n 200 -c 8 -seed 1 -mix 16,1,1 \
+    >"$TMP/cluster.json" 2>"$TMP/log-load2" ||
+    fail "sgload burst against coordinator had errors"
+printf '{\n  "bench": "serve",\n  "ops": 200,\n  "mix": "16,1,1 run/sweep/explore",\n  "single": %s,\n  "cluster": %s\n}\n' \
+    "$(cat "$TMP/single.json")" "$(cat "$TMP/cluster.json")" >BENCH_serve.json
+for side in single cluster; do
+    tp=$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$TMP/$side.json")
+    p99=$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' "$TMP/$side.json")
+    echo "cluster-smoke: sgload $side: ${tp} ops/s, p99 ${p99}ms"
+done
+echo "cluster-smoke: load ok (2x200 mixed ops, zero errors; BENCH_serve.json written)"
+
+# --- 4. graceful degradation after a backend kill ---------------------
+reroutes_before=$(cmetric sgcoord_reroutes_total)
+kill -9 "$B3"
+wait "$B3" 2>/dev/null || true
+B3=""
+# Every sweep cell must still answer: cells whose shard died re-route.
+for wl in compress espresso xlisp grep; do
+    for scheme in 2bit proposed perfect; do
+        curl -fsS "$CBASE/v1/run?workload=$wl&scheme=$scheme" >/dev/null ||
+            fail "cell $wl/$scheme failed after backend kill"
+    done
+done
+reroutes_after=$(cmetric sgcoord_reroutes_total)
+[ "$reroutes_after" -gt "$reroutes_before" ] ||
+    fail "no reroutes recorded after killing a backend ($reroutes_before -> $reroutes_after)"
+unhealthy=$(curl -fsS "$CBASE/cluster/state" | tr ',' '\n' | grep -c '"healthy":false') || true
+[ "$unhealthy" = 1 ] || fail "cluster state shows $unhealthy unhealthy backends, want 1"
+curl -fsS "$CBASE/readyz" >/dev/null || fail "coordinator /readyz not ok with 2/3 backends healthy"
+echo "cluster-smoke: degradation ok (backend killed, 12/12 cells answered, state flipped)"
+
+echo "cluster-smoke: OK"
